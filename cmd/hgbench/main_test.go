@@ -1,0 +1,29 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestExperimentsSmoke runs every experiment function once in quick mode;
+// the experiment bodies contain their own correctness checks (they print
+// OK/FAIL columns), and this test guards against panics and regressions
+// in the harness wiring.
+func TestExperimentsSmoke(t *testing.T) {
+	if err := flag.Set("quick", "true"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		name string
+		run  func()
+	}{
+		{"e01", e01}, {"e02", e02}, {"e03", e03},
+		{"e05", e05}, {"e06", e06}, {"e07", e07},
+		{"e09", e09}, {"e11", e11}, {"e12", e12},
+		{"e13", e13}, {"e14", e14},
+	} {
+		t.Run(e.name, func(t *testing.T) {
+			e.run() // must not panic
+		})
+	}
+}

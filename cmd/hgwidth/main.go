@@ -1,0 +1,145 @@
+// Command hgwidth computes hypergraph width measures: the hypertree
+// width hw, generalized hypertree width ghw and fractional hypertree
+// width fhw, along with the structural properties (degree, rank,
+// intersection widths, acyclicity) that decide which of the paper's
+// algorithms apply.
+//
+// Usage:
+//
+//	hgwidth [-exact] [-heuristic] [-check k] [-show] [file]
+//
+// The hypergraph is read from the file (or stdin) in edge-list format:
+// e1(a,b,c), e2(c,d). With -exact, the exponential elimination DP
+// computes ghw and fhw exactly (≤ 24 vertices recommended); -heuristic
+// reports min-fill upper bounds for larger inputs; -check k runs the
+// polynomial Check(HD,k) / Check(GHD,k) / Check(FHD,k) procedures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+
+	"hypertree/internal/core"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+func main() {
+	exact := flag.Bool("exact", false, "compute exact ghw/fhw by the elimination DP (small inputs)")
+	heuristic := flag.Bool("heuristic", false, "report min-fill upper bounds on ghw/fhw")
+	check := flag.String("check", "", "width k (integer or rational p/q) to run the Check procedures at")
+	show := flag.Bool("show", false, "print the decompositions found")
+	gml := flag.Bool("gml", false, "print decompositions as GML instead of text")
+	flag.Parse()
+	gmlMode = *gml
+
+	input, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	h, err := hypergraph.Parse(input)
+	if err != nil {
+		fatal(err)
+	}
+	if err := h.ValidateNonEmpty(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("vertices=%d edges=%d rank=%d degree=%d\n",
+		h.NumVertices(), h.NumEdges(), h.Rank(), h.Degree())
+	fmt.Printf("iwidth=%d 3-miwidth=%d acyclic=%v connected=%v\n",
+		h.IntersectionWidth(), h.MultiIntersectionWidth(3), h.IsAcyclic(), h.IsConnected())
+
+	hw, hd := core.HW(h, 6)
+	if hw > 0 {
+		fmt.Printf("hw = %d\n", hw)
+		maybeShow(*show, "HD", hd)
+	} else {
+		fmt.Println("hw > 6 (search capped)")
+	}
+
+	if *exact {
+		if h.NumVertices() > 24 {
+			fatal(fmt.Errorf("-exact limited to 24 vertices (got %d); use -heuristic", h.NumVertices()))
+		}
+		ghw, gd := core.ExactGHW(h)
+		fmt.Printf("ghw = %d (exact)\n", ghw)
+		maybeShow(*show, "GHD", gd)
+		fhw, fd := core.ExactFHW(h)
+		fmt.Printf("fhw = %s (exact)\n", fhw.RatString())
+		maybeShow(*show, "FHD", fd)
+	}
+	if *heuristic {
+		gw, gd := core.MinFillGHD(h)
+		fmt.Printf("ghw ≤ %d (min-fill)\n", gw)
+		maybeShow(*show, "GHD", gd)
+		fw, fd := core.MinFillFHD(h)
+		fmt.Printf("fhw ≤ %s (min-fill)\n", fw.RatString())
+		maybeShow(*show, "FHD", fd)
+	}
+	if *check != "" {
+		k, ok := new(big.Rat).SetString(*check)
+		if !ok {
+			fatal(fmt.Errorf("bad -check value %q", *check))
+		}
+		if k.IsInt() {
+			ki := int(k.Num().Int64())
+			if d := core.CheckHD(h, ki); d != nil {
+				fmt.Printf("Check(HD,%d): yes\n", ki)
+				maybeShow(*show, "HD", d)
+			} else {
+				fmt.Printf("Check(HD,%d): no\n", ki)
+			}
+			d, err := core.CheckGHDViaBIP(h, ki, core.Options{})
+			switch {
+			case err != nil:
+				fmt.Printf("Check(GHD,%d): %v\n", ki, err)
+			case d != nil:
+				fmt.Printf("Check(GHD,%d): yes\n", ki)
+				maybeShow(*show, "GHD", d)
+			default:
+				fmt.Printf("Check(GHD,%d): no\n", ki)
+			}
+		}
+		d, err := core.CheckFHD(h, k, core.FHDOptions{})
+		switch {
+		case err != nil:
+			fmt.Printf("Check(FHD,%s): %v\n", k.RatString(), err)
+		case d != nil:
+			fmt.Printf("Check(FHD,%s): yes (width %s)\n", k.RatString(), d.Width().RatString())
+			maybeShow(*show, "FHD", d)
+		default:
+			fmt.Printf("Check(FHD,%s): no\n", k.RatString())
+		}
+	}
+}
+
+var gmlMode bool
+
+func maybeShow(show bool, kind string, d *decomp.Decomp) {
+	if !show || d == nil {
+		return
+	}
+	if gmlMode {
+		fmt.Printf("--- %s (width %s, GML) ---\n%s", kind, d.Width().RatString(), d.WriteGML())
+		return
+	}
+	fmt.Printf("--- %s (width %s) ---\n%s", kind, d.Width().RatString(), d)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgwidth:", err)
+	os.Exit(1)
+}

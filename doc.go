@@ -1,0 +1,13 @@
+// Package hypertree is a Go reproduction of "General and Fractional
+// Hypertree Decompositions: Hard and Easy Cases" (Fischl, Gottlob,
+// Pichler; PODS 2018): hypergraph decomposition algorithms — Check(HD,k),
+// Check(GHD,k) under bounded (multi-)intersections, Check(FHD,k) under
+// bounded degree, fhw approximation schemes — together with the
+// NP-hardness reduction of Theorem 3.2 and a decomposition-guided
+// conjunctive-query evaluator.
+//
+// The implementation lives under internal/; see README.md for the map
+// and DESIGN.md for the per-experiment index. The benchmarks in
+// bench_test.go regenerate every table- and figure-shaped artifact of
+// the paper (experiments E1–E14).
+package hypertree

@@ -1,0 +1,88 @@
+// cqplanner: decomposition-guided join planning and execution — the
+// application the paper's Section 1 motivates. A cyclic query that naive
+// join ordering handles badly is decomposed into a width-2 GHD; each bag
+// becomes a join of ≤ 2 relations bounded by the AGM inequality, and the
+// Yannakakis sweep over the decomposition tree answers the query with
+// intermediate results bounded by input + output.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hypertree/internal/core"
+	"hypertree/internal/cover"
+	"hypertree/internal/csp"
+	"hypertree/internal/eval"
+)
+
+func main() {
+	// A "cyclic sensor join": triangles sharing edges, the classic case
+	// where acyclic-query techniques fail but ghw = 2 suffices.
+	q, err := csp.ParseCQ(`ans() :-
+		up(A,B), up(B,C), link(A,C), down(C,D), down(D,E), link(C,E)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := q.H
+	fmt.Printf("query: %d atoms over %d variables, acyclic=%v\n",
+		len(q.Atoms), h.NumVertices(), h.IsAcyclic())
+
+	ghw, d, err := core.GHWViaBIP(h, 4, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: GHD of width %d with %d bags\n\n%s\n", ghw, d.NumNodes(), d)
+
+	// Generate data: random graphs with some matching structure.
+	rng := rand.New(rand.NewSource(7))
+	db := eval.Database{}
+	n := 60
+	for e := 0; e < h.NumEdges(); e++ {
+		var attrs []string
+		h.Edge(e).ForEach(func(v int) bool {
+			attrs = append(attrs, h.VertexName(v))
+			return true
+		})
+		r := eval.NewRelation(attrs...)
+		for i := 0; i < n; i++ {
+			vals := make([]string, len(attrs))
+			for j := range vals {
+				vals[j] = fmt.Sprintf("n%d", rng.Intn(12))
+			}
+			r.Insert(vals...)
+		}
+		db[e] = r
+	}
+
+	// Cost bound per bag: the AGM inequality with the bag's fractional
+	// cover.
+	fmt.Println("per-bag AGM bounds (max intermediate size the plan can incur):")
+	for u := range d.Nodes {
+		w, gamma := cover.FractionalEdgeCover(h, d.Nodes[u].Bag)
+		sizes := make([]int, h.NumEdges())
+		weights := make([]float64, h.NumEdges())
+		for e := 0; e < h.NumEdges(); e++ {
+			sizes[e] = db[e].Size()
+			if g, ok := gamma[e]; ok {
+				weights[e], _ = g.Float64()
+			}
+		}
+		fmt.Printf("  bag %d: ρ* = %-4s AGM ≤ %.0f tuples\n",
+			u, w.RatString(), eval.AGMBound(sizes, weights))
+	}
+
+	// Execute both ways and compare.
+	plan, err := eval.EvalDecomp(d, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive := eval.NaiveJoin(h, db)
+	fmt.Printf("\ndecomposition plan result: %d tuples\n", plan.Size())
+	fmt.Printf("naive left-deep join:      %d tuples\n", naive.Size())
+	if !eval.Equal(plan, naive) {
+		log.Fatal("plans disagree!")
+	}
+	fmt.Println("results identical — decomposition plan verified")
+}

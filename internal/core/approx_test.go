@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+func TestMinFillHeuristic(t *testing.T) {
+	// The heuristic is an upper bound on fhw/ghw and yields valid
+	// decompositions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 9, 6, 3, 2)
+		fw, fd := MinFillFHD(h)
+		gw, gd := MinFillGHD(h)
+		if fw == nil || gd == nil {
+			return false
+		}
+		if fd.Validate(decomp.FHD) != nil || gd.Validate(decomp.GHD) != nil {
+			return false
+		}
+		exactF, _ := ExactFHW(h)
+		exactG, _ := ExactGHW(h)
+		return fw.Cmp(exactF) >= 0 && gw >= exactG
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegralizeCovers(t *testing.T) {
+	// Theorem 6.23 approximation step: integralizing an optimal FHD
+	// yields a valid GHD whose width is within the cigap factor.
+	h := hypergraph.Clique(6)
+	fhw, fd := ExactFHW(h) // fhw = 3
+	g := IntegralizeCovers(fd, 12)
+	if g == nil {
+		t.Fatal("integralization failed")
+	}
+	if err := g.Validate(decomp.GHD); err != nil {
+		t.Fatal(err)
+	}
+	// ρ(K6 bag) = 3 = fhw: no loss on even cliques (Lemma 2.3).
+	if g.Width().Cmp(fhw) != 0 {
+		t.Fatalf("K6: integral width %v, fractional %v", g.Width(), fhw)
+	}
+	// Odd clique: fhw(K5) = 5/2, integral 3.
+	h5 := hypergraph.Clique(5)
+	_, fd5 := ExactFHW(h5)
+	g5 := IntegralizeCovers(fd5, 12)
+	if err := g5.Validate(decomp.GHD); err != nil {
+		t.Fatal(err)
+	}
+	if g5.Width().Cmp(lp.RI(3)) != 0 {
+		t.Fatalf("K5 integral width = %v, want 3", g5.Width())
+	}
+}
+
+func TestBoundFractionalPart(t *testing.T) {
+	// Lemma 6.4 on the Example 5.1 family: the single big edge is heavy
+	// (weight 1−1/n ≥ 1/2) and big (n vertices), so it gets rounded to 1;
+	// the width grows by at most ε and the fractional part becomes
+	// bounded.
+	for n := 4; n <= 8; n++ {
+		h := hypergraph.UnboundedSupport(n)
+		_, fd := ExactFHW(h)
+		if fd == nil {
+			t.Fatal("no exact FHD")
+		}
+		eps := lp.R(1, 2)
+		before := fd.Width()
+		out := BoundFractionalPart(fd, eps)
+		if err := out.Validate(decomp.FHD); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		limit := new(big.Rat).Add(before, eps)
+		if out.Width().Cmp(limit) > 0 {
+			t.Fatalf("n=%d: width %v exceeds %v", n, out.Width(), limit)
+		}
+		c := FracPartBound(before, eps, h.IntersectionWidth())
+		if lp.RI(int64(out.MaxFractionalPart())).Cmp(c) > 0 {
+			t.Fatalf("n=%d: fractional part %d exceeds bound %v", n, out.MaxFractionalPart(), c)
+		}
+	}
+}
+
+func TestQuickBoundFractionalPartInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 9, 6, 4, 2)
+		w, fd := ExactFHW(h)
+		if fd == nil {
+			return true
+		}
+		eps := lp.R(1, 3)
+		out := BoundFractionalPart(fd, eps)
+		if out.Validate(decomp.FHD) != nil {
+			return false
+		}
+		limit := new(big.Rat).Add(w, eps)
+		if out.Width().Cmp(limit) > 0 {
+			return false
+		}
+		c := FracPartBound(w, eps, h.IntersectionWidth())
+		return lp.RI(int64(out.MaxFractionalPart())).Cmp(c) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairWeakSCVs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 8, 6, 3, 2)
+		w, fd := ExactFHW(h)
+		if fd == nil {
+			return true
+		}
+		out, _, err := RepairWeakSCVs(fd)
+		if err != nil {
+			return false
+		}
+		if out.Validate(decomp.FHD) != nil {
+			return false
+		}
+		if out.Width().Cmp(w) > 0 {
+			return false
+		}
+		return out.WeakSpecialCondition() == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubedgesUpTo(t *testing.T) {
+	h := hypergraph.MustParse("e1(a,b,c,d),e2(d,e)")
+	subs, err := SubedgesUpTo(h, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All subsets of size ≤ 2: C(4,1)+C(4,2) = 10 from e1 plus
+	// {d},{e},{d,e} from e2, minus the shared {d}: 12.
+	if len(subs) != 12 {
+		t.Fatalf("got %d subedges, want 12", len(subs))
+	}
+	if _, err := SubedgesUpTo(h, 2, 5); err == nil {
+		t.Fatal("cap must trigger")
+	}
+}
+
+func TestFracDecompTriangle(t *testing.T) {
+	// K3 with k = 3/2, ε small, c = 3: the triangle bag is fully
+	// fractional, so c must accommodate 3 fractionally covered vertices.
+	h := hypergraph.Clique(3)
+	d := FracDecomp(h, FracDecompParams{K: lp.R(3, 2), Eps: lp.R(1, 10), C: 3})
+	if d == nil {
+		t.Fatal("frac-decomp must accept K3 at width 3/2+ε with c=3")
+	}
+	if err := d.Validate(decomp.FHD); err != nil {
+		t.Fatal(err)
+	}
+	limit := new(big.Rat).Add(lp.R(3, 2), lp.R(1, 10))
+	if d.Width().Cmp(limit) > 0 {
+		t.Fatalf("width %v > %v", d.Width(), limit)
+	}
+	if d.MaxFractionalPart() > 3 {
+		t.Fatalf("fractional part %d > 3", d.MaxFractionalPart())
+	}
+	// With c = 0 (pure GHD mode) width 3/2+ε must be rejected: any
+	// integral cover of the triangle bag needs 2 edges.
+	if d0 := FracDecomp(h, FracDecompParams{K: lp.R(3, 2), Eps: lp.R(1, 10), C: 0}); d0 != nil {
+		t.Fatal("c=0 must force integral covers; 3/2+ε < 2 impossible")
+	}
+	// But c = 0 at k = 2 succeeds.
+	if d2 := FracDecomp(h, FracDecompParams{K: lp.RI(2), Eps: new(big.Rat), C: 0}); d2 == nil {
+		t.Fatal("c=0, k=2 must accept K3")
+	}
+}
+
+func TestFracDecompAgainstExact(t *testing.T) {
+	// On small BIP hypergraphs, frac-decomp at (fhw, ε) with the
+	// Lemma 6.4 c-bound accepts and produces width ≤ fhw+ε.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 7, 4, 3, 1)
+		w, _ := ExactFHW(h)
+		if w == nil {
+			return true
+		}
+		eps := lp.R(1, 2)
+		c := ratCeil(FracPartBound(w, eps, h.IntersectionWidth()))
+		if c > 4 {
+			c = 4 // keep the enumeration small; ok for these sizes
+		}
+		d := FracDecomp(h, FracDecompParams{K: w, Eps: eps, C: c})
+		if d == nil {
+			return false
+		}
+		if d.Validate(decomp.FHD) != nil {
+			return false
+		}
+		limit := new(big.Rat).Add(w, eps)
+		return d.Width().Cmp(limit) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFHWApproximationPTAAS(t *testing.T) {
+	// Algorithm 4 with the exact finder: the returned width is within ε
+	// of fhw (Theorem 6.20), on several known families.
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Clique(4),
+		hypergraph.Clique(5),
+		hypergraph.Cycle(6),
+		hypergraph.ExampleH0(),
+	} {
+		fhw, _ := ExactFHW(h)
+		eps := lp.R(1, 4)
+		d := FHWApproximation(h, 4, eps, ExactFinder)
+		if d == nil {
+			t.Fatalf("PTAAS failed on %v (fhw=%v)", h, fhw)
+		}
+		limit := new(big.Rat).Add(fhw, eps)
+		if d.Width().Cmp(limit) >= 0 {
+			t.Fatalf("PTAAS width %v ≥ fhw+ε = %v", d.Width(), limit)
+		}
+	}
+	// fhw(K8) = 4 > K=3: must report failure.
+	if d := FHWApproximation(hypergraph.Clique(8), 3, lp.R(1, 4), ExactFinder); d != nil {
+		t.Fatal("PTAAS must reject when fhw > K")
+	}
+}
+
+func TestFHWApproximationWithFracDecomp(t *testing.T) {
+	// End-to-end Theorem 6.1 + 6.20 on a small BIP hypergraph: PTAAS
+	// driven by Algorithm 3.
+	h := hypergraph.Cycle(5)
+	fhw, _ := ExactFHW(h)
+	eps := lp.R(1, 2)
+	d := FHWApproximation(h, 3, eps, FracDecompFinder(3))
+	if d == nil {
+		t.Fatal("PTAAS+frac-decomp failed on C5")
+	}
+	if err := d.Validate(decomp.FHD); err != nil {
+		t.Fatal(err)
+	}
+	limit := new(big.Rat).Add(fhw, eps)
+	if d.Width().Cmp(limit) > 0 {
+		t.Fatalf("width %v > fhw+ε = %v", d.Width(), limit)
+	}
+}

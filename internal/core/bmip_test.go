@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+func TestBMIPSubedgesContainsLemma49Targets(t *testing.T) {
+	// The general closure must contain e ∩ Bu for the bag-maximal GHDs
+	// the exact algorithm finds (with c = 3 on 1-BIP instances the
+	// 3-wise intersections are tiny).
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		h := hypergraph.RandomBIP(rng, 8, 5, 3, 1)
+		_, d := ExactGHW(h)
+		if d == nil {
+			continue
+		}
+		d.BagMaximalize()
+		subs, err := BMIPSubedges(h, 2, 3, 0, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		index := map[string]bool{}
+		for _, s := range subs {
+			index[s.Key()] = true
+		}
+		for e := 0; e < h.NumEdges(); e++ {
+			index[h.Edge(e).Key()] = true // original edges are present too
+		}
+		for u := range d.Nodes {
+			for _, e := range d.Nodes[u].Cover.Support() {
+				target := h.Edge(e).Intersect(d.Nodes[u].Bag)
+				if target.IsEmpty() {
+					continue
+				}
+				if !index[target.Key()] {
+					t.Fatalf("closure misses e∩Bu = %v", h.VertexNames(target))
+				}
+			}
+		}
+	}
+}
+
+func TestCheckGHDViaBMIPAgreesWithExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 7, 4, 3, 1)
+		ghw, _ := ExactGHW(h)
+		for k := 1; k <= 2; k++ {
+			d, err := CheckGHDViaBMIP(h, k, 3, Options{})
+			if err != nil {
+				return false
+			}
+			if (d != nil) != (ghw <= k) {
+				return false
+			}
+			if d != nil && d.Validate(decomp.GHD) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBMIPSubedgesRejectsBadParams(t *testing.T) {
+	h := hypergraph.Clique(4)
+	if _, err := BMIPSubedges(h, 2, 1, 0, 0); err == nil {
+		t.Fatal("c=1 must be rejected")
+	}
+	// The cap triggers on dense instances.
+	if _, err := BMIPSubedges(hypergraph.ExampleH0(), 2, 3, 0, 5); err == nil {
+		t.Fatal("tiny cap must trigger")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/big"
+	"math/bits"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// MaximalCliques enumerates the maximal cliques of the primal graph of h
+// using Bron–Kerbosch with pivoting (hypergraphs of ≤ 64 vertices).
+// Every hyperedge is a clique of the primal graph, so every maximal
+// clique contains at least one full hyperedge's worth of structure; by
+// Lemma 2.8 each clique must be contained in a bag of any decomposition.
+func MaximalCliques(h *hypergraph.Hypergraph) []hypergraph.VertexSet {
+	n := h.NumVertices()
+	if n > maxExactVertices {
+		panic("core: clique enumeration limited to 64 vertices")
+	}
+	adj := make([]uint64, n)
+	for v, vs := range h.AdjacencyMatrix() {
+		var m uint64
+		vs.ForEach(func(u int) bool {
+			m |= 1 << uint(u)
+			return true
+		})
+		adj[v] = m
+	}
+	var all uint64
+	for v := 0; v < n; v++ {
+		all |= 1 << uint(v)
+	}
+	var out []hypergraph.VertexSet
+	var bk func(r, p, x uint64)
+	bk = func(r, p, x uint64) {
+		if p == 0 && x == 0 {
+			out = append(out, maskToSet(r, n))
+			return
+		}
+		// Pivot: vertex of p ∪ x with most neighbours in p.
+		pivot, best := -1, -1
+		for m := p | x; m != 0; {
+			u := bits.TrailingZeros64(m)
+			m &^= 1 << uint(u)
+			if c := bits.OnesCount64(adj[u] & p); c > best {
+				pivot, best = u, c
+			}
+		}
+		cand := p &^ adj[pivot]
+		for cand != 0 {
+			v := bits.TrailingZeros64(cand)
+			cand &^= 1 << uint(v)
+			vb := uint64(1) << uint(v)
+			bk(r|vb, p&adj[v], x&adj[v])
+			p &^= vb
+			x |= vb
+		}
+	}
+	bk(0, all, 0)
+	return out
+}
+
+// FHWLowerBound returns a lower bound on fhw(h): by Lemma 2.8, every
+// clique of the primal graph must fit in a single bag, so
+// fhw(H) ≥ max over maximal cliques K of ρ*_H(K). (For GHW the same
+// bound holds with ρ, rounded up.)
+func FHWLowerBound(h *hypergraph.Hypergraph) *big.Rat {
+	best := new(big.Rat)
+	for _, k := range MaximalCliques(h) {
+		w, _ := cover.FractionalEdgeCover(h, k)
+		if w != nil && w.Cmp(best) > 0 {
+			best = w
+		}
+	}
+	if best.Sign() == 0 && h.NumEdges() > 0 {
+		best = lp.RI(1)
+	}
+	return best
+}
+
+// GHWLowerBound returns the corresponding integral lower bound
+// max over maximal cliques K of ρ(K).
+func GHWLowerBound(h *hypergraph.Hypergraph) int {
+	best := 0
+	for _, k := range MaximalCliques(h) {
+		c := cover.EdgeCover(h, k, 0)
+		if c != nil && len(c) > best {
+			best = len(c)
+		}
+	}
+	if best == 0 && h.NumEdges() > 0 {
+		best = 1
+	}
+	return best
+}

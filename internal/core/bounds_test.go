@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+func TestMaximalCliques(t *testing.T) {
+	// Triangle: one maximal clique of size 3.
+	cl := MaximalCliques(hypergraph.Clique(3))
+	if len(cl) != 1 || cl[0].Count() != 3 {
+		t.Fatalf("K3 cliques: %v", cl)
+	}
+	// Path: n-1 maximal cliques (the edges).
+	cl = MaximalCliques(hypergraph.Path(5))
+	if len(cl) != 4 {
+		t.Fatalf("path cliques: %d, want 4", len(cl))
+	}
+	// H0: hyperedges of rank 3 are triangles of the primal graph.
+	cl = MaximalCliques(hypergraph.ExampleH0())
+	for _, k := range cl {
+		if k.Count() > 3 {
+			t.Fatalf("H0 has no primal clique of size > 3, got %d", k.Count())
+		}
+	}
+}
+
+func TestWidthSandwich(t *testing.T) {
+	// lower bound ≤ exact ≤ min-fill upper bound, with equality on
+	// cliques where the single forced bag decides everything.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 9, 6, 3, 2)
+		lower := FHWLowerBound(h)
+		exact, _ := ExactFHW(h)
+		upper, _ := MinFillFHD(h)
+		if exact == nil || upper == nil {
+			return true
+		}
+		if lower.Cmp(exact) > 0 || exact.Cmp(upper) > 0 {
+			return false
+		}
+		gl := GHWLowerBound(h)
+		ge, _ := ExactGHW(h)
+		return gl <= ge
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+	for n := 3; n <= 6; n++ {
+		k := hypergraph.Clique(n)
+		lower := FHWLowerBound(k)
+		exact, _ := ExactFHW(k)
+		if lower.Cmp(exact) != 0 {
+			t.Fatalf("K%d: lower %v != exact %v", n, lower, exact)
+		}
+	}
+}
+
+func TestLowerBoundDetectsHighWidth(t *testing.T) {
+	// The lower bound proves fhw(K8) ≥ 4 without running the DP.
+	if got := FHWLowerBound(hypergraph.Clique(8)); got.Cmp(lp.RI(4)) != 0 {
+		t.Fatalf("FHWLowerBound(K8) = %v, want 4", got)
+	}
+	if got := GHWLowerBound(hypergraph.Clique(8)); got != 4 {
+		t.Fatalf("GHWLowerBound(K8) = %d, want 4", got)
+	}
+}

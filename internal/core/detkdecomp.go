@@ -1,0 +1,179 @@
+// Package core implements the paper's algorithmic contributions: the
+// Check(HD,k) procedure of Gottlob, Leone and Scarcello (det-k-decomp),
+// the subedge-augmentation technique that makes Check(GHD,k) tractable
+// under the bounded-(multi-)intersection property (Section 4), the
+// Check(FHD,k) procedure for bounded-degree hypergraphs (Section 5), the
+// fhw-approximation algorithms of Section 6 — c-bounded fractional parts,
+// the (k,ε,c)-frac-decomp algorithm, the PTAAS for K-bounded fhw
+// optimization, and the O(k·log k) integral-cover approximation — and
+// exact ghw/fhw computation via elimination orderings (the method of
+// Moll, Tazari and Thurley cited by the paper as the exact baseline).
+package core
+
+import (
+	"sort"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// hdNode is the reconstruction record for one accepted subproblem.
+type hdNode struct {
+	lambda   []int // chosen edges
+	bag      hypergraph.VertexSet
+	children []string // memo keys of child subproblems
+}
+
+// hdSearch carries the memoization state of one CheckHD run.
+type hdSearch struct {
+	h    *hypergraph.Hypergraph
+	k    int
+	memo map[string]*hdNode // key -> node (nil entry = known failure)
+	done map[string]bool
+}
+
+// CheckHD decides Check(HD,k): whether h has a hypertree decomposition of
+// width ≤ k, and if so returns one (in the normal form of [27]). It
+// returns nil if none exists. The algorithm is the deterministic
+// simulation of the alternating k-decomp procedure with memoization on
+// (component, connector) subproblems; it runs in polynomial time for
+// fixed k.
+func CheckHD(h *hypergraph.Hypergraph, k int) *decomp.Decomp {
+	if k <= 0 || h.NumEdges() == 0 {
+		return nil
+	}
+	s := &hdSearch{h: h, k: k, memo: map[string]*hdNode{}, done: map[string]bool{}}
+	all := h.Vertices()
+	empty := hypergraph.NewVertexSet(h.NumVertices())
+	key := s.decompose(all, empty)
+	if key == "" {
+		return nil
+	}
+	d := decomp.New(h)
+	s.build(d, -1, key)
+	return d
+}
+
+// HW computes the hypertree width hw(h) by iterating CheckHD, together
+// with a witness HD. maxK bounds the search (≤ 0 means |E(H)|).
+func HW(h *hypergraph.Hypergraph, maxK int) (int, *decomp.Decomp) {
+	if maxK <= 0 {
+		maxK = h.NumEdges()
+	}
+	for k := 1; k <= maxK; k++ {
+		if d := CheckHD(h, k); d != nil {
+			return k, d
+		}
+	}
+	return -1, nil
+}
+
+// decompose solves the subproblem (C, W): C is a component still to be
+// covered and W ⊆ Bparent is its connector (the parent-bag vertices
+// adjacent to C). It returns the memo key of a witness node, or "".
+//
+// The invariant maintained is e ⊆ C ∪ W for every e ∈ edges(C). A guess
+// λ of ≤ k edges succeeds if, with bag := B(λ) ∩ (W ∪ C),
+//
+//	(a) W ⊆ bag            (connector covered; connectedness),
+//	(b) bag ∩ C ≠ ∅        (progress; FNF condition 2),
+//	(c) every [bag]-component C' ⊆ C decomposes with connector
+//	    W' = bag ∩ V(edges(C')).
+//
+// The special condition holds by construction since bags are exactly
+// B(λ) ∩ (W ∪ C) and subtrees stay inside C ∪ bag.
+func (s *hdSearch) decompose(c, w hypergraph.VertexSet) string {
+	key := c.Key() + "|" + w.Key()
+	if s.done[key] {
+		if s.memo[key] == nil {
+			return ""
+		}
+		return key
+	}
+	s.done[key] = true
+	scope := c.Union(w)
+	// Candidate edges must contribute vertices inside W ∪ C.
+	var candidates []int
+	for e := 0; e < s.h.NumEdges(); e++ {
+		if s.h.Edge(e).Intersects(scope) {
+			candidates = append(candidates, e)
+		}
+	}
+	// Prefer edges that intersect C: they create progress.
+	sort.Slice(candidates, func(i, j int) bool {
+		ci := s.h.Edge(candidates[i]).Intersects(c)
+		cj := s.h.Edge(candidates[j]).Intersects(c)
+		if ci != cj {
+			return ci
+		}
+		return candidates[i] < candidates[j]
+	})
+
+	lambda := make([]int, 0, s.k)
+	var try func(start int) *hdNode
+	try = func(start int) *hdNode {
+		if len(lambda) > 0 {
+			if n := s.check(c, w, lambda); n != nil {
+				return n
+			}
+		}
+		if len(lambda) == s.k {
+			return nil
+		}
+		for i := start; i < len(candidates); i++ {
+			lambda = append(lambda, candidates[i])
+			if n := try(i + 1); n != nil {
+				return n
+			}
+			lambda = lambda[:len(lambda)-1]
+		}
+		return nil
+	}
+	node := try(0)
+	s.memo[key] = node
+	if node == nil {
+		return ""
+	}
+	return key
+}
+
+// check tests one guess λ for subproblem (C, W).
+func (s *hdSearch) check(c, w hypergraph.VertexSet, lambda []int) *hdNode {
+	b := s.h.UnionOfEdges(lambda)
+	bag := b.Intersect(w.Union(c))
+	if !w.IsSubsetOf(bag) {
+		return nil
+	}
+	if !bag.Intersects(c) {
+		return nil
+	}
+	var childKeys []string
+	for _, comp := range s.h.ComponentsOf(bag, c) {
+		// Connector: bag vertices on edges touching the child component.
+		wc := hypergraph.NewVertexSet(s.h.NumVertices())
+		for _, e := range s.h.EdgesIntersecting(comp) {
+			wc = wc.UnionInPlace(s.h.Edge(e).Intersect(bag))
+		}
+		ck := s.decompose(comp, wc)
+		if ck == "" {
+			return nil
+		}
+		childKeys = append(childKeys, ck)
+	}
+	return &hdNode{lambda: append([]int(nil), lambda...), bag: bag, children: childKeys}
+}
+
+// build materializes the memoized witness tree into d under parent.
+func (s *hdSearch) build(d *decomp.Decomp, parent int, key string) {
+	n := s.memo[key]
+	cov := cover.Fractional{}
+	for _, e := range n.lambda {
+		cov[e] = lp.RI(1)
+	}
+	id := d.AddNode(parent, n.bag, cov)
+	for _, ck := range n.children {
+		s.build(d, id, ck)
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/big"
+	"math/bits"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// The exact ghw/fhw algorithms below follow the elimination-ordering
+// characterization: the tree decompositions of H correspond to the
+// triangulations of its primal graph, whose maximal cliques are the sets
+// {v} ∪ Q(S,v) for elimination prefixes S, where Q(S,v) are the vertices
+// reachable from v through S. Therefore
+//
+//	fhw(H) = min over orderings of max over v of ρ*_H({v} ∪ Q(S,v)),
+//
+// and likewise for ghw with ρ. The minimum over orderings is computed by
+// dynamic programming over subsets (Moll, Tazari, Thurley, "Computing
+// hypergraph width measures exactly", IPL 2012 — reference [42] of the
+// paper). This is exponential in |V(H)| and intended for hypergraphs of
+// ≤ ~20 vertices; it is the ground truth the polynomial algorithms are
+// cross-validated against.
+
+const maxExactVertices = 64
+
+// exactState carries one exact-width DP run.
+type exactState struct {
+	h       *hypergraph.Hypergraph
+	n       int
+	adj     []uint64 // primal-graph adjacency masks
+	bagCost func(bag uint64) *big.Rat
+	costMem map[uint64]*big.Rat
+	memo    map[uint64]*big.Rat
+	choice  map[uint64]int
+}
+
+// ExactFHW computes fhw(h) exactly together with an optimal FHD. It
+// panics if h has more than 64 vertices; callers should gate on size.
+func ExactFHW(h *hypergraph.Hypergraph) (*big.Rat, *decomp.Decomp) {
+	s := newExactState(h, func(bag uint64) *big.Rat {
+		w, _ := cover.FractionalEdgeCover(h, maskToSet(bag, h.NumVertices()))
+		return w
+	})
+	return s.run(false)
+}
+
+// ExactGHW computes ghw(h) exactly together with an optimal GHD.
+func ExactGHW(h *hypergraph.Hypergraph) (int, *decomp.Decomp) {
+	s := newExactState(h, func(bag uint64) *big.Rat {
+		c := cover.EdgeCover(h, maskToSet(bag, h.NumVertices()), 0)
+		if c == nil {
+			return nil
+		}
+		return lp.RI(int64(len(c)))
+	})
+	w, d := s.run(true)
+	if w == nil {
+		return -1, nil
+	}
+	return int(w.Num().Int64()), d
+}
+
+func newExactState(h *hypergraph.Hypergraph, bagCost func(uint64) *big.Rat) *exactState {
+	n := h.NumVertices()
+	if n > maxExactVertices {
+		panic("core: exact width computation limited to 64 vertices")
+	}
+	adj := make([]uint64, n)
+	for v, vs := range h.AdjacencyMatrix() {
+		var m uint64
+		vs.ForEach(func(u int) bool {
+			m |= 1 << uint(u)
+			return true
+		})
+		adj[v] = m
+	}
+	return &exactState{
+		h: h, n: n, adj: adj, bagCost: bagCost,
+		costMem: map[uint64]*big.Rat{},
+		memo:    map[uint64]*big.Rat{},
+		choice:  map[uint64]int{},
+	}
+}
+
+func maskToSet(m uint64, n int) hypergraph.VertexSet {
+	s := hypergraph.NewVertexSet(n)
+	for m != 0 {
+		v := bits.TrailingZeros64(m)
+		s.Add(v)
+		m &^= 1 << uint(v)
+	}
+	return s
+}
+
+// q returns Q(S,v): the vertices outside S∪{v} reachable from v via paths
+// whose interior lies in S.
+func (s *exactState) q(set uint64, v int) uint64 {
+	reach := s.adj[v]
+	inside := reach & set
+	seen := inside
+	for inside != 0 {
+		u := bits.TrailingZeros64(inside)
+		inside &^= 1 << uint(u)
+		nb := s.adj[u] &^ seen & set
+		seen |= nb
+		inside |= nb
+		reach |= s.adj[u]
+	}
+	return reach &^ set &^ (1 << uint(v))
+}
+
+// cost returns the bag cost of {v} ∪ Q(S,v), memoized by bag mask.
+func (s *exactState) cost(set uint64, v int) *big.Rat {
+	bag := s.q(set, v) | 1<<uint(v)
+	if c, ok := s.costMem[bag]; ok {
+		return c
+	}
+	c := s.bagCost(bag)
+	s.costMem[bag] = c
+	return c
+}
+
+// f computes the DP value for the eliminated-set S: the minimum over
+// orderings of S (as an elimination prefix) of the maximum bag cost.
+func (s *exactState) f(set uint64) *big.Rat {
+	if set == 0 {
+		return new(big.Rat)
+	}
+	if v, ok := s.memo[set]; ok {
+		return v
+	}
+	var best *big.Rat
+	bestV := -1
+	rem := set
+	for rem != 0 {
+		v := bits.TrailingZeros64(rem)
+		rem &^= 1 << uint(v)
+		sub := s.f(set &^ (1 << uint(v)))
+		c := s.cost(set&^(1<<uint(v)), v)
+		if sub == nil || c == nil {
+			continue
+		}
+		m := sub
+		if c.Cmp(m) > 0 {
+			m = c
+		}
+		if best == nil || m.Cmp(best) < 0 {
+			best, bestV = m, v
+		}
+	}
+	s.memo[set] = best
+	s.choice[set] = bestV
+	return best
+}
+
+// run executes the DP and reconstructs a decomposition; integral selects
+// integral covers for the bags.
+func (s *exactState) run(integral bool) (*big.Rat, *decomp.Decomp) {
+	if s.n == 0 || s.h.NumEdges() == 0 {
+		return nil, nil
+	}
+	full := uint64(1)<<uint(s.n) - 1
+	if s.n == 64 {
+		full = ^uint64(0)
+	}
+	w := s.f(full)
+	if w == nil {
+		return nil, nil
+	}
+	// Recover the elimination order, first-eliminated first: the vertex
+	// chosen at state `set` is the last one eliminated among `set`.
+	seq := make([]int, 0, s.n)
+	for set := full; set != 0; {
+		v := s.choice[set]
+		seq = append(seq, v)
+		set &^= 1 << uint(v)
+	}
+	order := make([]int, 0, s.n)
+	for i := len(seq) - 1; i >= 0; i-- {
+		order = append(order, seq[i])
+	}
+
+	// Bags along the order; connect node i to the node of the first
+	// vertex of bag_i \ {v_i} eliminated after v_i.
+	pos := make([]int, s.n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	bags := make([]uint64, s.n)
+	prefix := uint64(0)
+	for i, v := range order {
+		bags[i] = s.q(prefix, v) | 1<<uint(v)
+		prefix |= 1 << uint(v)
+	}
+	d := decomp.New(s.h)
+	ids := make([]int, s.n)
+	// Build from the last node (root) backwards.
+	for i := s.n - 1; i >= 0; i-- {
+		parent := -1
+		if i < s.n-1 {
+			// Earliest-eliminated vertex in bag_i after position i; if
+			// none, attach to the next node.
+			next := i + 1
+			bestPos := s.n
+			m := bags[i] &^ (1 << uint(order[i]))
+			for m != 0 {
+				u := bits.TrailingZeros64(m)
+				m &^= 1 << uint(u)
+				if pos[u] > i && pos[u] < bestPos {
+					bestPos = pos[u]
+				}
+			}
+			if bestPos < s.n {
+				next = bestPos
+			}
+			parent = ids[next]
+		}
+		bag := maskToSet(bags[i], s.n)
+		var cov cover.Fractional
+		if integral {
+			cov = cover.Fractional{}
+			for _, e := range cover.EdgeCover(s.h, bag, 0) {
+				cov[e] = lp.RI(1)
+			}
+		} else {
+			_, cov = cover.FractionalEdgeCover(s.h, bag)
+		}
+		ids[i] = d.AddNode(parent, bag, cov)
+	}
+	return w, d
+}

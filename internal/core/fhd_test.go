@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+func TestCheckFHDTriangle(t *testing.T) {
+	// fhw(K3) = 3/2: the CheckFHD threshold must flip exactly there.
+	h := hypergraph.Clique(3)
+	d, err := CheckFHD(h, lp.R(3, 2), FHDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("fhw(K3) = 3/2; check at 3/2 must succeed")
+	}
+	if err := d.Validate(decomp.FHD); err != nil {
+		t.Fatal(err)
+	}
+	if d.Width().Cmp(lp.R(3, 2)) > 0 {
+		t.Fatalf("width %v > 3/2", d.Width())
+	}
+	below, err := CheckFHD(h, lp.R(149, 100), FHDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below != nil {
+		t.Fatal("check below fhw must fail")
+	}
+}
+
+func TestCheckFHDPath(t *testing.T) {
+	h := hypergraph.Path(5)
+	d, err := CheckFHD(h, lp.RI(1), FHDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("acyclic: fhw = 1")
+	}
+	if err := d.Validate(decomp.FHD); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFHDAgreesWithExactDP(t *testing.T) {
+	// Cross-validation on random bounded-degree hypergraphs: CheckFHD at
+	// the exact fhw succeeds; strictly below it fails.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBoundedDegree(rng, 7, 5, 3, 2)
+		fhw, _ := ExactFHW(h)
+		if fhw == nil {
+			return true
+		}
+		at, err := CheckFHD(h, fhw, FHDOptions{})
+		if err != nil || at == nil {
+			return false
+		}
+		if at.Validate(decomp.FHD) != nil || at.Width().Cmp(fhw) > 0 {
+			return false
+		}
+		if fhw.Cmp(lp.RI(1)) > 0 {
+			// Slightly below the optimum must fail.
+			eps := lp.R(1, 1000)
+			below, err := CheckFHD(h, new(big.Rat).Sub(fhw, eps), FHDOptions{})
+			if err != nil || below != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestFacts(t *testing.T) {
+	// Lemma 5.15 on random bounded-degree hypergraphs: the intersection
+	// forest has depth ≤ d−1.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		h := hypergraph.RandomBoundedDegree(rng, 8, 6, 3, 3)
+		d := h.Degree()
+		// Random sequence ξ of 3 groups of ≤ 4 edges.
+		var xi [][]int
+		for g := 0; g < 3; g++ {
+			var group []int
+			for len(group) < 2 {
+				e := rng.Intn(h.NumEdges())
+				group = append(group, e)
+			}
+			xi = append(xi, group)
+		}
+		f := BuildIntersectionForest(h, xi)
+		if got := f.MaxDepth(); got > d-1 && got > 0 {
+			t.Fatalf("forest depth %d exceeds degree bound %d", got, d-1)
+		}
+		// Every fringe set is an intersection of edges, hence a subset of
+		// each edge in its maximal type.
+		for _, s := range f.Fringe() {
+			if s.IsEmpty() {
+				t.Fatal("empty fringe set")
+			}
+		}
+	}
+}
+
+func TestHdkSubedges(t *testing.T) {
+	h := hypergraph.MustParse("e1(a,b,c),e2(b,c,d),e3(c,d,e)")
+	subs, err := HdkSubedges(h, h.Degree(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must contain e1 ∩ e2 = {b,c} (a 2-wise intersection pointwise
+	// intersected with e1).
+	b, _ := h.VertexID("b")
+	c, _ := h.VertexID("c")
+	want := hypergraph.SetOf(b, c)
+	found := false
+	for _, s := range subs {
+		if s.Equal(want) {
+			found = true
+		}
+		// All outputs are subsets of some edge.
+		ok := false
+		for e := 0; e < h.NumEdges(); e++ {
+			if s.IsSubsetOf(h.Edge(e)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatal("h_{d,k} produced a non-subedge")
+		}
+	}
+	if !found {
+		t.Fatal("h_{d,k} must contain e1 ∩ e2")
+	}
+}
+
+func TestUnionIntersectionsTreeFigure7(t *testing.T) {
+	// Figure 7 / Example 4.12: the ⋃⋂-tree of the critical path of
+	// (u, e2) in the GHD of Figure 6(b) has root {e2} with children
+	// {e2,e3} and {e2,e7}, and the union of leaf intersections is
+	// e'2 = {v3, v9} = e2 ∩ Bu.
+	h := hypergraph.ExampleH0()
+	d := decomp.Figure6bGHD(h)
+	e2, _ := h.EdgeIDByName("e2")
+	tree, path, err := UnionOfIntersectionsTree(d, 0, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical path u -> u1 -> u2 (nodes 0,1,2).
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("critical path = %v, want [0 1 2]", path)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("got %d leaves, want 2", len(leaves))
+	}
+	v3, _ := h.VertexID("v3")
+	v9, _ := h.VertexID("v9")
+	if got := tree.LeafUnion(h); !got.Equal(hypergraph.SetOf(v3, v9)) {
+		t.Fatalf("leaf union = %v, want {v3,v9}", h.VertexNames(got))
+	}
+	// Lemma 4.9: e2 ∩ Bu equals the leaf union (Figure 6(b) is
+	// bag-maximal).
+	if got := h.Edge(e2).Intersect(d.Nodes[0].Bag); !got.Equal(tree.LeafUnion(h)) {
+		t.Fatal("Lemma 4.9 equality violated")
+	}
+	// Depth 1: tree of Figure 7.
+	if tree.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", tree.Depth())
+	}
+}
+
+func TestLemma49OnRandomGHDs(t *testing.T) {
+	// Lemma 4.9 on bag-maximalized exact GHDs of random hypergraphs: for
+	// every node u and λ-edge e with e ⊄ Bu, e ∩ Bu equals the leaf union
+	// of the ⋃⋂-tree along the critical path.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 8, 5, 3, 2)
+		_, d := ExactGHW(h)
+		if d == nil {
+			return true
+		}
+		d.BagMaximalize()
+		for u := range d.Nodes {
+			for _, e := range d.Nodes[u].Cover.Support() {
+				if h.Edge(e).IsSubsetOf(d.Nodes[u].Bag) {
+					continue
+				}
+				tree, _, err := UnionOfIntersectionsTree(d, u, e)
+				if err != nil {
+					return false
+				}
+				want := h.Edge(e).Intersect(d.Nodes[u].Bag)
+				if !tree.LeafUnion(h).Equal(want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/big"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// FHDOptions configure CheckFHD.
+type FHDOptions struct {
+	// MaxSupport bounds |supp(γu)| per node. 0 means ⌊k·degree(H)⌋, the
+	// bound of Lemma 5.6.
+	MaxSupport int
+	// Subedges overrides the subedge closure added to H (Theorem 5.22
+	// uses h_{d,k}; the default is the full closure when it fits under
+	// MaxSubedges, which is complete for every hypergraph, falling back
+	// to HdkSubedges).
+	Subedges []hypergraph.VertexSet
+	// MaxSubedges caps the default closure (0 = library default).
+	MaxSubedges int
+}
+
+// fhdNode is the reconstruction record of one accepted FHD subproblem.
+type fhdNode struct {
+	bag      hypergraph.VertexSet
+	cov      cover.Fractional // over augmented edge indices
+	children []string
+}
+
+type fhdSearch struct {
+	orig       *hypergraph.Hypergraph
+	aug        *Augmented
+	k          *big.Rat
+	maxSupport int
+	memo       map[string]*fhdNode
+	done       map[string]bool
+}
+
+// CheckFHD decides Check(FHD,k) — is fhw(h) ≤ k? — using the reduction of
+// Theorem 5.22: h is augmented with subedges, and a *strict* hypertree-
+// style decomposition is sought in which every bag is the union ⋃Su of at
+// most ⌊k·d⌋ augmented edges (d = degree(h), Lemma 5.6) admitting a
+// fractional edge cover of weight ≤ k by those edges (checked by exact
+// LP). On success a width-≤k FHD of h is returned; otherwise nil.
+//
+// The procedure runs in polynomial time for fixed k on bounded-degree
+// classes (Theorem 5.2); on unrestricted inputs the subedge closure or
+// the support enumeration may be large, bounded by opt caps.
+func CheckFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions) (*decomp.Decomp, error) {
+	if h.NumEdges() == 0 || k.Sign() <= 0 {
+		return nil, nil
+	}
+	d := h.Degree()
+	maxSupport := opt.MaxSupport
+	if maxSupport == 0 {
+		// ⌊k·d⌋ per Lemma 5.6.
+		kd := new(big.Rat).Mul(k, lp.RI(int64(d)))
+		maxSupport = int(new(big.Int).Quo(kd.Num(), kd.Denom()).Int64())
+	}
+	if maxSupport < 1 {
+		maxSupport = 1
+	}
+	subs := opt.Subedges
+	if subs == nil {
+		max := opt.MaxSubedges
+		if max == 0 {
+			max = defaultMaxSubedges
+		}
+		var err error
+		subs, err = FullSubedgeClosure(h, max)
+		if err != nil {
+			// Fall back to the (capped) h_{d,k} closure of Lemma 5.17.
+			subs, err = HdkSubedges(h, d, ratCeil(k), 0, max)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	aug := Augment(h, subs)
+	s := &fhdSearch{
+		orig: h, aug: aug, k: k, maxSupport: maxSupport,
+		memo: map[string]*fhdNode{}, done: map[string]bool{},
+	}
+	key := s.decompose(h.Vertices(), hypergraph.NewVertexSet(h.NumVertices()))
+	if key == "" {
+		return nil, nil
+	}
+	augDecomp := decomp.New(aug.H)
+	s.build(augDecomp, -1, key)
+	return aug.ToOriginal(augDecomp), nil
+}
+
+// ratCeil returns ⌈r⌉ as an int.
+func ratCeil(r *big.Rat) int {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.IsInt() {
+		return int(q.Int64())
+	}
+	return int(q.Int64()) + 1
+}
+
+func (s *fhdSearch) decompose(c, w hypergraph.VertexSet) string {
+	key := c.Key() + "|" + w.Key()
+	if s.done[key] {
+		if s.memo[key] == nil {
+			return ""
+		}
+		return key
+	}
+	s.done[key] = true
+	scope := c.Union(w)
+	// Candidates: augmented edges entirely inside W ∪ C that intersect C
+	// or cover part of W (strict bags B = ⋃S must stay inside W ∪ C).
+	var candidates []int
+	for e := 0; e < s.aug.H.NumEdges(); e++ {
+		es := s.aug.H.Edge(e)
+		if es.IsSubsetOf(scope) && es.Intersects(scope) {
+			candidates = append(candidates, e)
+		}
+	}
+	chosen := make([]int, 0, s.maxSupport)
+	var try func(start int) *fhdNode
+	try = func(start int) *fhdNode {
+		if len(chosen) > 0 {
+			if n := s.check(c, w, chosen); n != nil {
+				return n
+			}
+		}
+		if len(chosen) == s.maxSupport {
+			return nil
+		}
+		for i := start; i < len(candidates); i++ {
+			chosen = append(chosen, candidates[i])
+			if n := try(i + 1); n != nil {
+				return n
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return nil
+	}
+	node := try(0)
+	s.memo[key] = node
+	if node == nil {
+		return ""
+	}
+	return key
+}
+
+func (s *fhdSearch) check(c, w hypergraph.VertexSet, chosen []int) *fhdNode {
+	bag := s.aug.H.UnionOfEdges(chosen)
+	if !w.IsSubsetOf(bag) || !bag.Intersects(c) {
+		return nil
+	}
+	// Fractional cover of the bag by the chosen edges with weight ≤ k
+	// (ρ*(H_λu) ≤ k in the terms of Theorem 5.22), solved exactly.
+	gamma := s.coverWithin(bag, chosen)
+	if gamma == nil {
+		return nil
+	}
+	var childKeys []string
+	// Components and connectors are computed in the original hypergraph:
+	// subedges are subsets of original edges, so [bag]-connectivity is
+	// unchanged and the original edges dominate the connectors.
+	for _, comp := range s.orig.ComponentsOf(bag, c) {
+		wc := hypergraph.NewVertexSet(s.orig.NumVertices())
+		for _, e := range s.orig.EdgesIntersecting(comp) {
+			wc = wc.UnionInPlace(s.orig.Edge(e).Intersect(bag))
+		}
+		ck := s.decompose(comp, wc)
+		if ck == "" {
+			return nil
+		}
+		childKeys = append(childKeys, ck)
+	}
+	return &fhdNode{bag: bag, cov: gamma, children: childKeys}
+}
+
+// coverWithin solves min Σ γ(e) over e ∈ chosen subject to covering bag,
+// and returns the weights if the optimum is ≤ k, nil otherwise.
+func (s *fhdSearch) coverWithin(bag hypergraph.VertexSet, chosen []int) cover.Fractional {
+	p := lp.NewProblem(len(chosen))
+	for j := range chosen {
+		p.SetObjective(j, lp.RI(1))
+	}
+	feasible := true
+	bag.ForEach(func(v int) bool {
+		coef := make([]*big.Rat, len(chosen))
+		any := false
+		for j, e := range chosen {
+			if s.aug.H.Edge(e).Has(v) {
+				coef[j] = lp.RI(1)
+				any = true
+			}
+		}
+		if !any {
+			feasible = false
+			return false
+		}
+		p.AddConstraint(coef, lp.GE, lp.RI(1))
+		return true
+	})
+	if !feasible {
+		return nil
+	}
+	sol, err := p.Solve()
+	if err != nil || sol.Status != lp.Optimal || sol.Value.Cmp(s.k) > 0 {
+		return nil
+	}
+	gamma := cover.Fractional{}
+	for j, e := range chosen {
+		if sol.X[j].Sign() > 0 {
+			gamma[e] = sol.X[j]
+		}
+	}
+	return gamma
+}
+
+func (s *fhdSearch) build(d *decomp.Decomp, parent int, key string) {
+	n := s.memo[key]
+	id := d.AddNode(parent, n.bag, n.cov)
+	for _, ck := range n.children {
+		s.build(d, id, ck)
+	}
+}

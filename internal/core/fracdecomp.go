@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/big"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// FracDecompParams are the parameters of Algorithm 3,
+// (k,ε,c)-frac-decomp: the target width is k+ε and c bounds the
+// fractional part of every node cover.
+type FracDecompParams struct {
+	K   *big.Rat
+	Eps *big.Rat
+	C   int
+}
+
+// fdNode reconstructs one accepted frac-decomp subproblem.
+type fdNode struct {
+	s        []int                // integral-weight edges (the set S)
+	ws       hypergraph.VertexSet // the guessed fractional part Ws
+	gamma    cover.Fractional     // γ covering Ws with weight ≤ k+ε−|S|
+	bag      hypergraph.VertexSet // B(γs) = V(S) ∪ Ws
+	comp     hypergraph.VertexSet // the component Cr this node was built for
+	children []string
+}
+
+type fdSearch struct {
+	h      *hypergraph.Hypergraph
+	target *big.Rat // k + ε
+	c      int
+	memo   map[string]*fdNode
+	done   map[string]bool
+}
+
+// FracDecomp is the deterministic simulation of Algorithm 3,
+// "(k,ε,c)-frac-decomp": it accepts iff H has an FHD of width ≤ k+ε with
+// c-bounded fractional part satisfying the weak special condition
+// (Theorem 6.16), and returns a witness FHD on success. Combined with
+// Lemmas 6.4/6.5 — every width-k FHD of a hypergraph with iwidth ≤ i can
+// be massaged into exactly this shape for c = 2ik² + 4k³i/ε — this yields
+// the k+ε approximation of Theorem 6.1 for BIP classes.
+//
+// Each node guesses a set S of ≤ ⌊k+ε⌋ edges with weight 1 plus a
+// fractional part Ws of ≤ c vertices coverable with the remaining weight
+// (checked by exact LP), exactly as in the paper's listing; subproblems
+// are memoized on (component, S, Ws)-derived keys.
+func FracDecomp(h *hypergraph.Hypergraph, p FracDecompParams) *decomp.Decomp {
+	if h.NumEdges() == 0 {
+		return nil
+	}
+	target := new(big.Rat).Add(p.K, p.Eps)
+	s := &fdSearch{h: h, target: target, c: p.C,
+		memo: map[string]*fdNode{}, done: map[string]bool{}}
+	key := s.fDecomp(h.Vertices(), hypergraph.NewVertexSet(h.NumVertices()), nil)
+	if key == "" {
+		return nil
+	}
+	d := decomp.New(h)
+	s.build(d, -1, key, hypergraph.NewVertexSet(h.NumVertices()))
+	return d
+}
+
+// fDecomp is procedure f-decomp(Cr, Wr, R) of Algorithm 3. Cr is the
+// current component, Wr the fractional part guessed at the parent, and R
+// the parent's integral edge set.
+func (s *fdSearch) fDecomp(cr, wr hypergraph.VertexSet, r []int) string {
+	vr := s.h.UnionOfEdges(r)
+	key := cr.Key() + "|" + wr.Key() + "|" + vr.Key()
+	if s.done[key] {
+		if s.memo[key] == nil {
+			return ""
+		}
+		return key
+	}
+	s.done[key] = true
+
+	// (1.b) candidates for Ws: vertices of V(R) ∪ Wr ∪ Cr.
+	wsScope := vr.Union(wr).Union(cr)
+	// The connector part that S ∪ Ws must cover (check 2.b): for each
+	// edge of H intersecting Cr, its intersection with V(R) ∪ Wr.
+	need := hypergraph.NewVertexSet(s.h.NumVertices())
+	vrwr := vr.Union(wr)
+	for _, e := range s.h.EdgesIntersecting(cr) {
+		need = need.UnionInPlace(s.h.Edge(e).Intersect(vrwr))
+	}
+
+	maxS := int(new(big.Int).Quo(s.target.Num(), s.target.Denom()).Int64())
+	var result *fdNode
+
+	// (1.a) guess S ⊆ E(H), |S| ≤ ⌊k+ε⌋. Edges must contribute inside
+	// the scope of this subproblem.
+	scope := wsScope
+	var candidates []int
+	for e := 0; e < s.h.NumEdges(); e++ {
+		if s.h.Edge(e).Intersects(scope) {
+			candidates = append(candidates, e)
+		}
+	}
+	chosen := make([]int, 0, maxS)
+	var tryS func(start int) bool
+	tryS = func(start int) bool {
+		if s.checkGuess(cr, wr, need, wsScope, chosen, &result) {
+			return true
+		}
+		if len(chosen) == maxS {
+			return false
+		}
+		for i := start; i < len(candidates); i++ {
+			chosen = append(chosen, candidates[i])
+			if tryS(i + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	tryS(0)
+	s.memo[key] = result
+	if result == nil {
+		return ""
+	}
+	return key
+}
+
+// checkGuess completes one guess of S by enumerating Ws (≤ c vertices of
+// the still-needed connector plus component scope) and running checks
+// (2.a)-(2.c) and the recursion (4).
+func (s *fdSearch) checkGuess(cr, wr, need, wsScope hypergraph.VertexSet, chosen []int, result **fdNode) bool {
+	vs := s.h.UnionOfEdges(chosen)
+	// (2.b) pre-check: Ws must supply need \ V(S); if that exceeds c,
+	// this S is hopeless for any Ws.
+	missing := need.Diff(vs)
+	if missing.Count() > s.c {
+		return false
+	}
+	// Enumerate Ws ⊇ missing with |Ws| ≤ c from the scope.
+	extra := wsScope.Diff(vs).Diff(missing).Vertices()
+	budget := s.c - missing.Count()
+	ell := lp.RI(int64(len(chosen)))
+	fracBudget := new(big.Rat).Sub(s.target, ell)
+
+	var tryWs func(start int, ws hypergraph.VertexSet) bool
+	tryWs = func(start int, ws hypergraph.VertexSet) bool {
+		if s.finishGuess(cr, wr, chosen, vs, ws, fracBudget, result) {
+			return true
+		}
+		if ws.Count()-missing.Count() >= budget {
+			return false
+		}
+		for i := start; i < len(extra); i++ {
+			if tryWs(i+1, ws.With(extra[i])) {
+				return true
+			}
+		}
+		return false
+	}
+	return tryWs(0, missing.Clone())
+}
+
+// finishGuess runs checks (2.a)-(2.c) for a fully guessed (S, Ws) and
+// recurses into the components.
+func (s *fdSearch) finishGuess(cr, wr hypergraph.VertexSet, chosen []int, vs, ws hypergraph.VertexSet, fracBudget *big.Rat, result **fdNode) bool {
+	if fracBudget.Sign() < 0 {
+		return false
+	}
+	bag := vs.Union(ws)
+	// (2.c) progress.
+	if !bag.Intersects(cr) {
+		return false
+	}
+	// (2.a) cover Ws fractionally with weight ≤ k+ε−ℓ.
+	gamma := cover.Fractional{}
+	if !ws.IsEmpty() {
+		w, g := cover.FractionalEdgeCover(s.h, ws)
+		if w == nil || w.Cmp(fracBudget) > 0 {
+			return false
+		}
+		gamma = g
+	}
+	// (4) recurse on [V(S) ∪ Ws]-components inside Cr.
+	var childKeys []string
+	for _, comp := range s.h.ComponentsOf(bag, cr) {
+		ck := s.fDecomp(comp, ws, chosen)
+		if ck == "" {
+			return false
+		}
+		childKeys = append(childKeys, ck)
+	}
+	*result = &fdNode{
+		s:        append([]int(nil), chosen...),
+		ws:       ws.Clone(),
+		gamma:    gamma,
+		bag:      bag,
+		comp:     cr.Clone(),
+		children: childKeys,
+	}
+	return true
+}
+
+// build materializes the witness tree. Bags follow the witness-tree
+// definition after Algorithm 3: B_{s0} = B(γ_{s0}) at the root and
+// B_s = B(γ_s) ∩ (B_r ∪ comp(s)) elsewhere, with B(γ_s) = V(S) ∪ Ws.
+func (s *fdSearch) build(d *decomp.Decomp, parent int, key string, parentBag hypergraph.VertexSet) {
+	n := s.memo[key]
+	one := lp.RI(1)
+	cov := n.gamma.Clone()
+	for _, e := range n.s {
+		cov[e] = one
+	}
+	bag := n.bag
+	if parent >= 0 {
+		bag = n.bag.Intersect(parentBag.Union(n.comp))
+	}
+	id := d.AddNode(parent, bag, cov)
+	for _, ck := range n.children {
+		s.build(d, id, ck, bag)
+	}
+}

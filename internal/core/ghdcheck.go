@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+// Options configure the Check(GHD,k) reduction to Check(HD,k).
+type Options struct {
+	// MaxSubedges caps the subedge closure size (0 = library default).
+	MaxSubedges int
+}
+
+const defaultMaxSubedges = 2_000_000
+
+// CheckGHDViaBIP decides Check(GHD,k) using the Theorem 4.11/4.15
+// technique: augment H with the polynomially many subedges f(H,k) that
+// suffice under the bounded intersection property, run Check(HD,k) on the
+// augmented hypergraph, and map the resulting HD back to a GHD of H.
+//
+// The procedure is sound and complete for every hypergraph (f(H,k) always
+// contains the required subedges e ∩ Bu of bag-maximal GHDs — the BIP
+// only bounds how many sets f(H,k) has). For hypergraphs with large
+// intersection width the closure may exceed the cap, in which case an
+// error is returned.
+func CheckGHDViaBIP(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomp, error) {
+	max := opt.MaxSubedges
+	if max == 0 {
+		max = defaultMaxSubedges
+	}
+	subs, err := BIPSubedges(h, k, max)
+	if err != nil {
+		return nil, err
+	}
+	aug := Augment(h, subs)
+	hd := CheckHD(aug.H, k)
+	if hd == nil {
+		return nil, nil
+	}
+	ghd := aug.ToOriginal(hd)
+	return ghd, nil
+}
+
+// CheckGHDExact decides Check(GHD,k) for small hypergraphs using the
+// limit subedge function f⁺ (all subedges), for which
+// hw(H ∪ f⁺(H)) = ghw(H) holds unconditionally.
+func CheckGHDExact(h *hypergraph.Hypergraph, k int, opt Options) (*decomp.Decomp, error) {
+	max := opt.MaxSubedges
+	if max == 0 {
+		max = defaultMaxSubedges
+	}
+	subs, err := FullSubedgeClosure(h, max)
+	if err != nil {
+		return nil, err
+	}
+	aug := Augment(h, subs)
+	hd := CheckHD(aug.H, k)
+	if hd == nil {
+		return nil, nil
+	}
+	return aug.ToOriginal(hd), nil
+}
+
+// GHWViaBIP computes ghw(H) by iterating CheckGHDViaBIP.
+func GHWViaBIP(h *hypergraph.Hypergraph, maxK int, opt Options) (int, *decomp.Decomp, error) {
+	if maxK <= 0 {
+		maxK = h.NumEdges()
+	}
+	for k := 1; k <= maxK; k++ {
+		d, err := CheckGHDViaBIP(h, k, opt)
+		if err != nil {
+			return -1, nil, err
+		}
+		if d != nil {
+			return k, d, nil
+		}
+	}
+	return -1, nil, fmt.Errorf("core: ghw(H) > %d", maxK)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// TestLemma27Monotonicity — widths are monotone under vertex-induced
+// subhypergraphs: fhw(H') ≤ fhw(H) and ghw(H') ≤ ghw(H).
+func TestLemma27Monotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 9, 6, 3, 2)
+		fhw, _ := ExactFHW(h)
+		ghw, _ := ExactGHW(h)
+		if fhw == nil {
+			return true
+		}
+		// Random induced subset keeping at least 2 vertices.
+		c := hypergraph.NewVertexSet(h.NumVertices())
+		for v := 0; v < h.NumVertices(); v++ {
+			if rng.Intn(3) > 0 {
+				c.Add(v)
+			}
+		}
+		if c.Count() < 2 {
+			return true
+		}
+		sub, _ := h.InducedSub(c)
+		if sub.NumEdges() == 0 {
+			return true
+		}
+		sf, _ := ExactFHW(sub)
+		sg, _ := ExactGHW(sub)
+		if sf == nil {
+			return true
+		}
+		return sf.Cmp(fhw) <= 0 && sg <= ghw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma28CliqueBag — if H contains a clique subhypergraph, every
+// decomposition our algorithms produce has a bag containing it.
+func TestLemma28CliqueBag(t *testing.T) {
+	// K4 plus pendant edges: the 4-clique must land in one bag.
+	h := hypergraph.MustParse(
+		"c1(a,b),c2(a,c),c3(a,d),c4(b,c),c5(b,d),c6(c,d),p1(d,e),p2(e,f)")
+	clique := hypergraph.NewVertexSet(h.NumVertices())
+	for _, n := range []string{"a", "b", "c", "d"} {
+		v, _ := h.VertexID(n)
+		clique.Add(v)
+	}
+	decomps := map[string]*decomp.Decomp{}
+	_, decomps["exactFHD"] = ExactFHW(h)
+	_, decomps["exactGHD"] = ExactGHW(h)
+	_, decomps["hd"] = HW(h, 4)
+	_, decomps["minfill"] = MinFillFHD(h)
+	for name, d := range decomps {
+		if d == nil {
+			t.Fatalf("%s: no decomposition", name)
+		}
+		found := false
+		for u := range d.Nodes {
+			if clique.IsSubsetOf(d.Nodes[u].Bag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no bag contains the 4-clique (Lemma 2.8)", name)
+		}
+	}
+}
+
+// TestCheckHDOutputsValidNormalForm — det-k-decomp's witnesses validate
+// as HDs and (after the trivial root convention) satisfy the FNF
+// conditions the construction promises.
+func TestCheckHDOutputsValidNormalForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 10, 7, 3, 2)
+		hw, d := HW(h, 4)
+		if hw < 0 {
+			return true
+		}
+		if d.Validate(decomp.HD) != nil {
+			return false
+		}
+		// Condition 2 of the normal form: every child bag meets its
+		// component (progress) — implied by construction.
+		return d.NumNodes() <= h.NumVertices()+h.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFNFIdempotent — applying ToFNF twice changes nothing the second
+// time (the first pass already establishes all three conditions).
+func TestFNFIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 8, 5, 3, 2)
+		_, d := ExactGHW(h)
+		if d == nil {
+			return true
+		}
+		if err := d.ToFNF(); err != nil {
+			return false
+		}
+		if d.ValidateFNF() != nil {
+			return false
+		}
+		n := d.NumNodes()
+		w := d.Width()
+		if err := d.ToFNF(); err != nil {
+			return false
+		}
+		return d.NumNodes() == n && d.Width().Cmp(w) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAcyclicEquivalences — hw = ghw = fhw = 1 iff H is α-acyclic
+// (footnote 1 / Section 1), on random and structured inputs.
+func TestAcyclicEquivalences(t *testing.T) {
+	cases := []*hypergraph.Hypergraph{
+		hypergraph.Path(7),
+		hypergraph.Cycle(5),
+		hypergraph.ExampleH0(),
+		hypergraph.MustParse("big(a,b,c),t1(a,b),t2(b,c),t3(a,c)"), // α-acyclic
+		hypergraph.Grid(2, 3),
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 6; i++ {
+		cases = append(cases, hypergraph.RandomBIP(rng, 8, 5, 3, 2))
+	}
+	for _, h := range cases {
+		acyclic := h.IsAcyclic()
+		hd := CheckHD(h, 1)
+		if (hd != nil) != acyclic {
+			t.Fatalf("hw=1 (%v) disagrees with acyclicity (%v) on %v", hd != nil, acyclic, h)
+		}
+		fhw, _ := ExactFHW(h)
+		if fhw == nil {
+			continue
+		}
+		if acyclic != (fhw.Cmp(lp.RI(1)) == 0) {
+			// fhw can only be 1 for acyclic hypergraphs and vice versa.
+			t.Fatalf("fhw=%v disagrees with acyclicity (%v)", fhw, acyclic)
+		}
+	}
+}
+
+// TestBIPSubedgeClosureCount — Theorem 4.15's bound |f(H,k)| ≤
+// m^{k+1}·2^{ik} on random i-BIP hypergraphs.
+func TestBIPSubedgeClosureCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		h := hypergraph.RandomBIP(rng, 9, 5, 3, 1)
+		i := h.IntersectionWidth()
+		k := 2
+		subs, err := BIPSubedges(h, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := h.NumEdges()
+		bound := 1
+		for j := 0; j < k+1; j++ {
+			bound *= m
+		}
+		bound *= 1 << uint(i*k)
+		if len(subs) > bound {
+			t.Fatalf("|f(H,%d)| = %d exceeds m^{k+1}·2^{ik} = %d", k, len(subs), bound)
+		}
+	}
+}
+
+// TestSupportBoundedFHDExists — Lemma 5.6 end-to-end: optimal FHDs can
+// be rewritten to per-node support ≤ ⌊fhw·degree⌋ without width loss.
+func TestSupportBoundedFHDExists(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBoundedDegree(rng, 8, 6, 3, 3)
+		fhw, fd := ExactFHW(h)
+		if fd == nil {
+			return true
+		}
+		d := h.Degree()
+		kd := new(big.Rat).Mul(fhw, lp.RI(int64(d)))
+		for u := range fd.Nodes {
+			gamma := cover.BoundSupport(h, fd.Nodes[u].Cover)
+			if lp.RI(int64(len(gamma.Support()))).Cmp(kd) > 0 {
+				return false
+			}
+			if !fd.Nodes[u].Bag.IsSubsetOf(gamma.Covered(h)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/big"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// FindFHDFunc is the find-fhd(H, k, ε) subprocedure of Algorithm 4: it
+// returns an FHD of width ≤ k+ε if fhw(H) ≤ k, and nil if fhw(H) > k.
+// (Between the two thresholds either behaviour is allowed, exactly as for
+// Theorem 6.1's algorithm.)
+type FindFHDFunc func(h *hypergraph.Hypergraph, k, eps *big.Rat) *decomp.Decomp
+
+// FracDecompFinder builds a FindFHDFunc from Algorithm 3 for hypergraphs
+// with iwidth ≤ i, using the c of Lemma 6.4 (c = 2ik² + 4k³i/ε), capped
+// at maxC to keep the enumeration feasible.
+func FracDecompFinder(maxC int) FindFHDFunc {
+	return func(h *hypergraph.Hypergraph, k, eps *big.Rat) *decomp.Decomp {
+		i := h.IntersectionWidth()
+		c := FracPartBound(k, eps, i)
+		ci := ratCeil(c)
+		if maxC > 0 && ci > maxC {
+			ci = maxC
+		}
+		return FracDecomp(h, FracDecompParams{K: k, Eps: eps, C: ci})
+	}
+}
+
+// ExactFinder is a FindFHDFunc backed by the exact elimination DP; it
+// serves as the ground-truth subprocedure for testing Algorithm 4 on
+// small hypergraphs.
+func ExactFinder(h *hypergraph.Hypergraph, k, eps *big.Rat) *decomp.Decomp {
+	w, d := ExactFHW(h)
+	if w == nil || w.Cmp(k) > 0 {
+		return nil
+	}
+	return d
+}
+
+// FHWApproximation is Algorithm 4: a polynomial-time absolute
+// approximation scheme (PTAAS) for the K-Bounded-FHW-Optimization
+// problem (Theorem 6.20). Given H with fhw(H) ≤ K it returns an FHD of
+// width < fhw(H) + ε by binary search over the width using find-fhd; it
+// returns nil if fhw(H) > K.
+func FHWApproximation(h *hypergraph.Hypergraph, K int, eps *big.Rat, find FindFHDFunc) *decomp.Decomp {
+	kRat := lp.RI(int64(K))
+	f := find(h, kRat, eps)
+	if f == nil {
+		return nil // fhw(H) > K
+	}
+	lo := lp.RI(1)                          // L
+	hi := new(big.Rat).Add(kRat, eps)       // U = K + ε
+	eps3 := new(big.Rat).Quo(eps, lp.RI(3)) // ε' = ε/3
+	for {
+		gap := new(big.Rat).Sub(hi, lo)
+		if gap.Cmp(eps) < 0 {
+			return f
+		}
+		mid := new(big.Rat).Add(lo, new(big.Rat).Quo(gap, lp.RI(2)))
+		if g := find(h, mid, eps3); g != nil {
+			hi = new(big.Rat).Add(mid, eps3)
+			f = g
+		} else {
+			lo = mid
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// Augmented is a hypergraph H' = (V(H), E(H) ∪ F) obtained by adding a
+// set F of subedges of H's edges, with per-edge originator tracking so
+// that decompositions of H' can be mapped back to decompositions of H.
+// Adding subedges changes neither ghw nor fhw (Section 4).
+type Augmented struct {
+	Orig *hypergraph.Hypergraph
+	H    *hypergraph.Hypergraph
+	// Origin[e] is, for each edge index e of H, the index of an edge of
+	// Orig containing it (identity for e < Orig.NumEdges()).
+	Origin []int
+}
+
+// Augment builds H' from h and a set of candidate subedges. Duplicate and
+// empty subedges are dropped, as are subedges equal to existing edges.
+func Augment(h *hypergraph.Hypergraph, subedges []hypergraph.VertexSet) *Augmented {
+	a := &Augmented{Orig: h, H: h.Clone()}
+	a.Origin = make([]int, h.NumEdges())
+	seen := map[string]bool{}
+	for e := 0; e < h.NumEdges(); e++ {
+		a.Origin[e] = e
+		seen[h.Edge(e).Key()] = true
+	}
+	for _, s := range subedges {
+		if s.IsEmpty() || seen[s.Key()] {
+			continue
+		}
+		orig := -1
+		for e := 0; e < h.NumEdges(); e++ {
+			if s.IsSubsetOf(h.Edge(e)) {
+				orig = e
+				break
+			}
+		}
+		if orig < 0 {
+			continue // not a subedge; ignore defensively
+		}
+		seen[s.Key()] = true
+		id := a.H.AddEdgeSet(fmt.Sprintf("sub%d", a.H.NumEdges()), s)
+		for len(a.Origin) <= id {
+			a.Origin = append(a.Origin, 0)
+		}
+		a.Origin[id] = orig
+	}
+	return a
+}
+
+// ToOriginal converts a decomposition of the augmented hypergraph into a
+// decomposition of the original hypergraph: bags are unchanged and each
+// cover weight moves to the edge's originator. Since originators are
+// supersets, B(γ) only grows, so validity and width are preserved (the
+// special condition generally is not — the result is a GHD/FHD, not an
+// HD; this is exactly the GHD-from-HD step in Theorem 4.11).
+func (a *Augmented) ToOriginal(d *decomp.Decomp) *decomp.Decomp {
+	out := decomp.New(a.Orig)
+	out.Nodes = make([]decomp.Node, len(d.Nodes))
+	out.Root = d.Root
+	one := lp.RI(1)
+	for i, n := range d.Nodes {
+		nc := cover.Fractional{}
+		for e, w := range n.Cover {
+			o := a.Origin[e]
+			if nc[o] == nil {
+				nc[o] = new(big.Rat)
+			}
+			nc[o].Add(nc[o], w)
+		}
+		// Cap weights at 1: two subedges of the same originator may land
+		// on one edge, and weight beyond 1 never helps coverage.
+		for o, w := range nc {
+			if w.Cmp(one) > 0 {
+				nc[o] = lp.RI(1)
+			}
+		}
+		out.Nodes[i] = decomp.Node{
+			Bag:      n.Bag.Clone(),
+			Cover:    nc,
+			Parent:   n.Parent,
+			Children: append([]int(nil), n.Children...),
+		}
+	}
+	return out
+}
+
+// BIPSubedges computes the subedge function f(H,k) for hypergraphs with
+// the i-bounded intersection property (Theorem 4.15):
+//
+//	f(H,k) = ⋃_e ⋃_{e1,…,ej ∈ E\{e}, j ≤ k} 2^(e ∩ (e1 ∪ … ∪ ej)) \ {∅}.
+//
+// Under the i-BIP each base set e ∩ (e1 ∪ … ∪ ej) has ≤ i·k vertices, so
+// |f(H,k)| ≤ m^{k+1}·2^{ik}. maxSets caps the output size defensively
+// (0 means no cap); exceeding the cap returns an error, which signals the
+// caller that H is not plausibly in a BIP class for these parameters.
+func BIPSubedges(h *hypergraph.Hypergraph, k int, maxSets int) ([]hypergraph.VertexSet, error) {
+	seen := map[string]bool{}
+	var out []hypergraph.VertexSet
+	add := func(s hypergraph.VertexSet) error {
+		if s.IsEmpty() || seen[s.Key()] {
+			return nil
+		}
+		seen[s.Key()] = true
+		out = append(out, s)
+		if maxSets > 0 && len(out) > maxSets {
+			return fmt.Errorf("core: BIP subedge closure exceeds %d sets", maxSets)
+		}
+		return nil
+	}
+	m := h.NumEdges()
+	for e := 0; e < m; e++ {
+		base := h.Edge(e)
+		// Enumerate unions of ≤ k other edges, tracking e ∩ union.
+		var rec func(start int, depth int, inter hypergraph.VertexSet) error
+		rec = func(start, depth int, inter hypergraph.VertexSet) error {
+			if depth > 0 {
+				if err := addAllSubsets(inter, add); err != nil {
+					return err
+				}
+			}
+			if depth == k {
+				return nil
+			}
+			for o := start; o < m; o++ {
+				if o == e {
+					continue
+				}
+				ni := inter.Union(base.Intersect(h.Edge(o)))
+				if err := rec(o+1, depth+1, ni); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(0, 0, hypergraph.NewVertexSet(h.NumVertices())); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// addAllSubsets feeds every non-empty subset of s to add.
+func addAllSubsets(s hypergraph.VertexSet, add func(hypergraph.VertexSet) error) error {
+	vs := s.Vertices()
+	if len(vs) > 24 {
+		return fmt.Errorf("core: subset enumeration over %d vertices refused", len(vs))
+	}
+	for mask := 1; mask < 1<<len(vs); mask++ {
+		sub := hypergraph.NewVertexSet(0)
+		for b := 0; b < len(vs); b++ {
+			if mask&(1<<b) != 0 {
+				sub.Add(vs[b])
+			}
+		}
+		if err := add(sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FullSubedgeClosure computes the limit subedge function f⁺: all
+// non-empty proper subsets of all edges. hw(H ∪ f⁺) = ghw(H) ([3, 28]),
+// but |f⁺| is exponential in the rank, so this is only usable for tiny
+// hypergraphs; maxSets caps the size (0 = no cap).
+func FullSubedgeClosure(h *hypergraph.Hypergraph, maxSets int) ([]hypergraph.VertexSet, error) {
+	seen := map[string]bool{}
+	var out []hypergraph.VertexSet
+	add := func(s hypergraph.VertexSet) error {
+		if s.IsEmpty() || seen[s.Key()] {
+			return nil
+		}
+		seen[s.Key()] = true
+		out = append(out, s)
+		if maxSets > 0 && len(out) > maxSets {
+			return fmt.Errorf("core: full subedge closure exceeds %d sets", maxSets)
+		}
+		return nil
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		if err := addAllSubsets(h.Edge(e), add); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+// UITree is a node of the ⋃⋂-tree produced by Algorithm 1
+// ("Union-of-Intersections-Tree"). Each node is labelled by a set of edge
+// indices; int(p) is the intersection of the labelled edges, and the
+// union of int(p) over the leaves equals e ∩ Bu for the critical path the
+// tree was built from (Lemma 4.9).
+type UITree struct {
+	Label    []int
+	Children []*UITree
+}
+
+// Int returns int(p): the intersection of the edges in the node's label.
+func (t *UITree) Int(h *hypergraph.Hypergraph) hypergraph.VertexSet {
+	return h.IntersectionOfEdges(t.Label)
+}
+
+// Leaves returns the leaf nodes in left-to-right order.
+func (t *UITree) Leaves() []*UITree {
+	if len(t.Children) == 0 {
+		return []*UITree{t}
+	}
+	var ls []*UITree
+	for _, c := range t.Children {
+		ls = append(ls, c.Leaves()...)
+	}
+	return ls
+}
+
+// Depth returns the depth of the tree (a single node has depth 0).
+func (t *UITree) Depth() int {
+	d := 0
+	for _, c := range t.Children {
+		if cd := c.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// LeafUnion returns ⋃_{leaves p} int(p).
+func (t *UITree) LeafUnion(h *hypergraph.Hypergraph) hypergraph.VertexSet {
+	u := hypergraph.NewVertexSet(h.NumVertices())
+	for _, l := range t.Leaves() {
+		u = u.UnionInPlace(l.Int(h))
+	}
+	return u
+}
+
+// CriticalPath computes critp(u,e) in the decomposition d
+// (Definition 4.8): the path u = u₀, u₁, …, u_ℓ = u* where u* is the node
+// closest to u that covers e. It returns an error if no node covers e.
+func CriticalPath(d *decomp.Decomp, u, e int) ([]int, error) {
+	edge := d.H.Edge(e)
+	best := -1
+	bestLen := int(^uint(0) >> 1)
+	for n := range d.Nodes {
+		if edge.IsSubsetOf(d.Nodes[n].Bag) {
+			if l := len(d.PathBetween(u, n)); l < bestLen {
+				best, bestLen = n, l
+			}
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("core: edge %s covered by no bag", d.H.EdgeName(e))
+	}
+	return d.PathBetween(u, best), nil
+}
+
+// UnionOfIntersectionsTree runs Algorithm 1 on the critical path of
+// (u, e) in d: starting from the root labelled {e}, each level i splits
+// every leaf p with label(p) ∩ λ_{u_i} = ∅ into one child per edge of
+// λ_{u_i}. The λ of a node is the support of its cover. The resulting
+// tree satisfies e ∩ Bu = ⋃_{leaves p} int(p) for bag-maximal
+// decompositions (Lemma 4.9).
+func UnionOfIntersectionsTree(d *decomp.Decomp, u, e int) (*UITree, []int, error) {
+	path, err := CriticalPath(d, u, e)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := &UITree{Label: []int{e}}
+	for _, ui := range path[1:] {
+		lambda := d.Nodes[ui].Cover.Support()
+		inLambda := map[int]bool{}
+		for _, le := range lambda {
+			inLambda[le] = true
+		}
+		for _, leaf := range root.Leaves() {
+			if len(leaf.Children) > 0 {
+				continue
+			}
+			hit := false
+			for _, le := range leaf.Label {
+				if inLambda[le] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				continue
+			}
+			for _, le := range lambda {
+				child := &UITree{Label: append(append([]int(nil), leaf.Label...), le)}
+				leaf.Children = append(leaf.Children, child)
+			}
+		}
+	}
+	return root, path, nil
+}

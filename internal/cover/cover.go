@@ -1,0 +1,293 @@
+// Package cover implements (fractional) edge covers and (fractional)
+// vertex covers of hypergraphs (paper, Section 2.2 and Definition 5.3):
+// the edge cover number ρ, the fractional edge cover number ρ*, the
+// transversality τ, the fractional transversality τ*, greedy approximate
+// covers, and the bounded-support machinery of Corollary 5.5 / Lemma 5.6.
+package cover
+
+import (
+	"math/big"
+	"sort"
+
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// Fractional is a fractional edge cover: edge index → positive weight.
+type Fractional map[int]*big.Rat
+
+// Weight returns the total weight Σ γ(e).
+func (f Fractional) Weight() *big.Rat {
+	w := new(big.Rat)
+	for _, r := range f {
+		w.Add(w, r)
+	}
+	return w
+}
+
+// Support returns supp(γ): the edges with positive weight, sorted.
+func (f Fractional) Support() []int {
+	var es []int
+	for e, r := range f {
+		if r.Sign() > 0 {
+			es = append(es, e)
+		}
+	}
+	sort.Ints(es)
+	return es
+}
+
+// Covered returns B(γ): the vertices v with Σ_{e ∋ v} γ(e) ≥ 1.
+func (f Fractional) Covered(h *hypergraph.Hypergraph) hypergraph.VertexSet {
+	weights := make(map[int]*big.Rat)
+	for e, r := range f {
+		h.Edge(e).ForEach(func(v int) bool {
+			if weights[v] == nil {
+				weights[v] = new(big.Rat)
+			}
+			weights[v].Add(weights[v], r)
+			return true
+		})
+	}
+	b := hypergraph.NewVertexSet(h.NumVertices())
+	one := lp.RI(1)
+	for v, w := range weights {
+		if w.Cmp(one) >= 0 {
+			b.Add(v)
+		}
+	}
+	return b
+}
+
+// IsIntegral reports whether every weight is 0 or 1.
+func (f Fractional) IsIntegral() bool {
+	one := lp.RI(1)
+	for _, r := range f {
+		if r.Sign() != 0 && r.Cmp(one) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (f Fractional) Clone() Fractional {
+	c := make(Fractional, len(f))
+	for e, r := range f {
+		c[e] = new(big.Rat).Set(r)
+	}
+	return c
+}
+
+// FractionalEdgeCover computes ρ*(target) in H: the minimum total weight
+// of an edge-weight function γ : E(H) → [0,1] with target ⊆ B(γ). It
+// returns the optimal weight and an optimal cover. If target cannot be
+// covered (some vertex in no edge) it returns nil, nil.
+//
+// Only edges intersecting target can help, so the LP uses those as
+// variables; the returned cover indexes edges of H. Because the LP is
+// solved exactly over rationals, threshold tests like ρ* ≤ k are decided
+// exactly.
+func FractionalEdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet) (*big.Rat, Fractional) {
+	if target.IsEmpty() {
+		return new(big.Rat), Fractional{}
+	}
+	edges := h.EdgesIntersecting(target)
+	if len(edges) == 0 {
+		return nil, nil
+	}
+	p := lp.NewProblem(len(edges))
+	for j := range edges {
+		p.SetObjective(j, lp.RI(1))
+	}
+	ok := true
+	target.ForEach(func(v int) bool {
+		coef := make([]*big.Rat, len(edges))
+		any := false
+		for j, e := range edges {
+			if h.Edge(e).Has(v) {
+				coef[j] = lp.RI(1)
+				any = true
+			}
+		}
+		if !any {
+			ok = false
+			return false
+		}
+		p.AddConstraint(coef, lp.GE, lp.RI(1))
+		return true
+	})
+	if !ok {
+		return nil, nil
+	}
+	s, err := p.Solve()
+	if err != nil || s.Status != lp.Optimal {
+		return nil, nil
+	}
+	cover := Fractional{}
+	for j, e := range edges {
+		if s.X[j].Sign() > 0 {
+			cover[e] = s.X[j]
+		}
+	}
+	return s.Value, cover
+}
+
+// RhoStar returns ρ*(H), the fractional edge cover number of the whole
+// hypergraph, or nil if H has an uncoverable vertex.
+func RhoStar(h *hypergraph.Hypergraph) *big.Rat {
+	w, _ := FractionalEdgeCover(h, h.Vertices())
+	return w
+}
+
+// EdgeCover computes ρ(target): the minimum number of edges of H whose
+// union contains target, by branch and bound (branching on a hardest
+// uncovered vertex). maxSize ≤ 0 means unbounded. Returns the chosen
+// edges, or nil if no cover of size ≤ maxSize exists.
+func EdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet, maxSize int) []int {
+	if target.IsEmpty() {
+		return []int{}
+	}
+	greedy := GreedyEdgeCover(h, target)
+	if greedy == nil && maxSize <= 0 {
+		return nil
+	}
+	bound := maxSize
+	if bound <= 0 || (greedy != nil && len(greedy) < bound) {
+		bound = len(greedy)
+	}
+	if greedy != nil && len(greedy) <= 1 {
+		if maxSize > 0 && len(greedy) > maxSize {
+			return nil
+		}
+		return greedy
+	}
+
+	var best []int
+	if greedy != nil && (maxSize <= 0 || len(greedy) <= maxSize) {
+		best = greedy
+	}
+	var rec func(remaining hypergraph.VertexSet, chosen []int)
+	rec = func(remaining hypergraph.VertexSet, chosen []int) {
+		if remaining.IsEmpty() {
+			if best == nil || len(chosen) < len(best) {
+				best = append([]int(nil), chosen...)
+			}
+			return
+		}
+		limit := bound
+		if best != nil && len(best)-1 < limit {
+			limit = len(best) - 1
+		}
+		if len(chosen) >= limit {
+			return
+		}
+		// Branch on the uncovered vertex with the fewest candidate edges.
+		bestV, bestCnt := -1, int(^uint(0)>>1)
+		remaining.ForEach(func(v int) bool {
+			cnt := 0
+			for e := 0; e < h.NumEdges(); e++ {
+				if h.Edge(e).Has(v) {
+					cnt++
+				}
+			}
+			if cnt < bestCnt {
+				bestV, bestCnt = v, cnt
+			}
+			return true
+		})
+		if bestCnt == 0 {
+			return // uncoverable
+		}
+		for e := 0; e < h.NumEdges(); e++ {
+			if !h.Edge(e).Has(bestV) {
+				continue
+			}
+			rec(remaining.Diff(h.Edge(e)), append(chosen, e))
+		}
+	}
+	rec(target.Clone(), nil)
+	if best != nil && maxSize > 0 && len(best) > maxSize {
+		return nil
+	}
+	return best
+}
+
+// Rho returns ρ(H) as an int, or -1 if H has an uncoverable vertex.
+func Rho(h *hypergraph.Hypergraph) int {
+	c := EdgeCover(h, h.Vertices(), 0)
+	if c == nil {
+		return -1
+	}
+	return len(c)
+}
+
+// GreedyEdgeCover returns an edge cover of target obtained by repeatedly
+// taking the edge covering the most uncovered vertices — the classical
+// ln(n)-approximation used in Theorem 6.23 to trade ρ* for ρ. Returns nil
+// if target is uncoverable.
+func GreedyEdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet) []int {
+	remaining := target.Clone()
+	var chosen []int
+	for !remaining.IsEmpty() {
+		bestE, bestGain := -1, 0
+		for e := 0; e < h.NumEdges(); e++ {
+			if g := h.Edge(e).Intersect(remaining).Count(); g > bestGain {
+				bestE, bestGain = e, g
+			}
+		}
+		if bestE < 0 {
+			return nil
+		}
+		chosen = append(chosen, bestE)
+		remaining = remaining.Diff(h.Edge(bestE))
+	}
+	return chosen
+}
+
+// FractionalVertexCover computes the fractional transversality τ*(H)
+// (Definition 6.22): the minimum Σ w(v) with Σ_{v ∈ e} w(v) ≥ 1 for every
+// edge, w ≥ 0. Returns the weight and the vertex weights.
+func FractionalVertexCover(h *hypergraph.Hypergraph) (*big.Rat, map[int]*big.Rat) {
+	n := h.NumVertices()
+	if h.NumEdges() == 0 {
+		return new(big.Rat), map[int]*big.Rat{}
+	}
+	p := lp.NewProblem(n)
+	for v := 0; v < n; v++ {
+		p.SetObjective(v, lp.RI(1))
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		coef := make([]*big.Rat, n)
+		h.Edge(e).ForEach(func(v int) bool {
+			coef[v] = lp.RI(1)
+			return true
+		})
+		p.AddConstraint(coef, lp.GE, lp.RI(1))
+	}
+	s, err := p.Solve()
+	if err != nil || s.Status != lp.Optimal {
+		return nil, nil
+	}
+	w := map[int]*big.Rat{}
+	for v := 0; v < n; v++ {
+		if s.X[v].Sign() > 0 {
+			w[v] = s.X[v]
+		}
+	}
+	return s.Value, w
+}
+
+// VertexCover computes the transversality τ(H) exactly by branch and
+// bound: the minimum number of vertices meeting every edge. Returns -1 if
+// H has an empty edge.
+func VertexCover(h *hypergraph.Hypergraph) int {
+	// τ(H) = ρ(H^d): a transversal of H is an edge cover of the dual.
+	d := h.Dual()
+	for e := 0; e < h.NumEdges(); e++ {
+		if h.Edge(e).IsEmpty() {
+			return -1
+		}
+	}
+	return Rho(d)
+}

@@ -1,0 +1,65 @@
+package cover
+
+import (
+	"math/big"
+
+	"hypertree/internal/hypergraph"
+)
+
+// BoundSupport implements the transformation of Lemma 5.6: given a
+// fractional edge cover γ of a hypergraph H of degree ≤ d, it returns a
+// cover γ' with weight(γ') ≤ weight(γ), B(γ) ⊆ B(γ'), and
+// |supp(γ')| ≤ d·weight(γ) (by Corollary 5.5, Füredi's bound applied to
+// the dual).
+//
+// Construction: form the subhypergraph H_u with V(H_u) = B(γ) and edges
+// e ∩ B(γ) for e ∈ supp(γ) (duplicates fused, originators remembered),
+// take an optimal *basic* fractional cover of H_u — a basic feasible LP
+// solution has small support — and push each induced edge's weight back
+// to one of its originators.
+func BoundSupport(h *hypergraph.Hypergraph, gamma Fractional) Fractional {
+	b := gamma.Covered(h)
+	if b.IsEmpty() {
+		return Fractional{}
+	}
+	// Build H_u from the support only.
+	hu := hypergraph.New()
+	type induced struct {
+		set  hypergraph.VertexSet
+		orig int
+	}
+	var edges []induced
+	seen := map[string]int{}
+	for _, e := range gamma.Support() {
+		is := h.Edge(e).Intersect(b)
+		if is.IsEmpty() {
+			continue
+		}
+		k := is.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = len(edges)
+		edges = append(edges, induced{set: is, orig: e})
+	}
+	// Mirror vertex universe then add the induced edges.
+	for v := 0; v < h.NumVertices(); v++ {
+		hu.Vertex(h.VertexName(v))
+	}
+	for _, ie := range edges {
+		hu.AddEdgeSet("", ie.set)
+	}
+	_, opt := FractionalEdgeCover(hu, b)
+	if opt == nil {
+		return gamma.Clone()
+	}
+	out := Fractional{}
+	for id, w := range opt {
+		orig := edges[id].orig
+		if out[orig] == nil {
+			out[orig] = new(big.Rat)
+		}
+		out[orig].Add(out[orig], w)
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package csp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hypertree/internal/hypergraph"
+)
+
+// The generators below synthesize a corpus with the structural shapes of
+// the HyperBench benchmark the paper's empirical companion [23] analyses:
+// join-query patterns (chains, stars, cycles, snowflakes) with small
+// arities for the CQ side, and denser, higher-arity instances for the
+// CSP side. The absolute statistics of the real corpus cannot be
+// reproduced without its (unavailable) data; the generator preserves the
+// *kinds* of structure — low intersection widths, low degrees, mostly
+// small widths — that motivate the BIP/BMIP/BDP restrictions.
+
+// ChainCQ returns a chain join of length atoms: r_i(x_{i·s}, …,
+// x_{i·s+arity-1}) where consecutive atoms overlap in `overlap`
+// variables.
+func ChainCQ(atoms, arity, overlap int) *Query {
+	if overlap >= arity {
+		panic("csp: overlap must be below arity")
+	}
+	q := &Query{Name: fmt.Sprintf("chain_%d_%d_%d", atoms, arity, overlap), H: hypergraph.New()}
+	step := arity - overlap
+	for i := 0; i < atoms; i++ {
+		var vars []string
+		for j := 0; j < arity; j++ {
+			vars = append(vars, fmt.Sprintf("X%d", i*step+j))
+		}
+		q.Atoms = append(q.Atoms, Atom{Relation: fmt.Sprintf("r%d", i+1), Variables: vars})
+		q.H.AddEdge(fmt.Sprintf("r%d", i+1), vars...)
+	}
+	return q
+}
+
+// StarCQ returns a star join: a centre atom joined to `branches` atoms on
+// one shared variable each.
+func StarCQ(branches, arity int) *Query {
+	q := &Query{Name: fmt.Sprintf("star_%d_%d", branches, arity), H: hypergraph.New()}
+	var centre []string
+	for j := 0; j < branches; j++ {
+		centre = append(centre, fmt.Sprintf("C%d", j))
+	}
+	q.Atoms = append(q.Atoms, Atom{Relation: "centre", Variables: centre})
+	q.H.AddEdge("centre", centre...)
+	for j := 0; j < branches; j++ {
+		vars := []string{fmt.Sprintf("C%d", j)}
+		for a := 1; a < arity; a++ {
+			vars = append(vars, fmt.Sprintf("B%d_%d", j, a))
+		}
+		rel := fmt.Sprintf("b%d", j+1)
+		q.Atoms = append(q.Atoms, Atom{Relation: rel, Variables: vars})
+		q.H.AddEdge(rel, vars...)
+	}
+	return q
+}
+
+// CycleCQ returns the cyclic join r_1(x1,x2), …, r_n(xn,x1).
+func CycleCQ(atoms int) *Query {
+	q := &Query{Name: fmt.Sprintf("cycle_%d", atoms), H: hypergraph.New()}
+	for i := 0; i < atoms; i++ {
+		vars := []string{fmt.Sprintf("X%d", i), fmt.Sprintf("X%d", (i+1)%atoms)}
+		rel := fmt.Sprintf("r%d", i+1)
+		q.Atoms = append(q.Atoms, Atom{Relation: rel, Variables: vars})
+		q.H.AddEdge(rel, vars...)
+	}
+	return q
+}
+
+// SnowflakeCQ returns a snowflake schema join: a fact atom over `dims`
+// dimension keys, each key joined to a dimension atom, each dimension
+// joined to `sub` sub-dimension atoms.
+func SnowflakeCQ(dims, sub int) *Query {
+	q := &Query{Name: fmt.Sprintf("snowflake_%d_%d", dims, sub), H: hypergraph.New()}
+	var keys []string
+	for d := 0; d < dims; d++ {
+		keys = append(keys, fmt.Sprintf("K%d", d))
+	}
+	q.Atoms = append(q.Atoms, Atom{Relation: "fact", Variables: keys})
+	q.H.AddEdge("fact", keys...)
+	for d := 0; d < dims; d++ {
+		dvars := []string{fmt.Sprintf("K%d", d)}
+		for s := 0; s < sub; s++ {
+			dvars = append(dvars, fmt.Sprintf("D%d_%d", d, s))
+		}
+		rel := fmt.Sprintf("dim%d", d+1)
+		q.Atoms = append(q.Atoms, Atom{Relation: rel, Variables: dvars})
+		q.H.AddEdge(rel, dvars...)
+		for s := 0; s < sub; s++ {
+			svars := []string{fmt.Sprintf("D%d_%d", d, s), fmt.Sprintf("S%d_%d", d, s)}
+			rel := fmt.Sprintf("sub%d_%d", d+1, s+1)
+			q.Atoms = append(q.Atoms, Atom{Relation: rel, Variables: svars})
+			q.H.AddEdge(rel, svars...)
+		}
+	}
+	return q
+}
+
+// RandomCQ returns a random join query with the given number of atoms
+// over a pool of vars variables with arities in [2, maxArity]; each atom
+// shares at least one variable with an earlier atom, giving connected,
+// low-intersection queries typical of the CQ side of HyperBench.
+func RandomCQ(rng *rand.Rand, atoms, vars, maxArity int) *Query {
+	q := &Query{Name: fmt.Sprintf("rand_cq_%d", atoms), H: hypergraph.New()}
+	used := []string{fmt.Sprintf("V%d", rng.Intn(vars))}
+	for i := 0; i < atoms; i++ {
+		arity := 2 + rng.Intn(maxArity-1)
+		seen := map[string]bool{}
+		var av []string
+		// Anchor on an existing variable for connectivity.
+		anchor := used[rng.Intn(len(used))]
+		av = append(av, anchor)
+		seen[anchor] = true
+		for len(av) < arity {
+			v := fmt.Sprintf("V%d", rng.Intn(vars))
+			if !seen[v] {
+				seen[v] = true
+				av = append(av, v)
+			}
+		}
+		rel := fmt.Sprintf("r%d", i+1)
+		q.Atoms = append(q.Atoms, Atom{Relation: rel, Variables: av})
+		q.H.AddEdge(rel, av...)
+		for _, v := range av {
+			used = append(used, v)
+		}
+	}
+	return q
+}
+
+// RandomCSP returns a random CSP-style instance: more constraints, wider
+// scopes, denser variable reuse than RandomCQ.
+func RandomCSP(rng *rand.Rand, constraints, vars, maxArity int) *Query {
+	q := &Query{Name: fmt.Sprintf("rand_csp_%d", constraints), H: hypergraph.New()}
+	for i := 0; i < constraints; i++ {
+		arity := 2 + rng.Intn(maxArity-1)
+		seen := map[string]bool{}
+		var av []string
+		for len(av) < arity {
+			v := fmt.Sprintf("V%d", rng.Intn(vars))
+			if !seen[v] {
+				seen[v] = true
+				av = append(av, v)
+			}
+		}
+		rel := fmt.Sprintf("c%d", i+1)
+		q.Atoms = append(q.Atoms, Atom{Relation: rel, Variables: av})
+		q.H.AddEdge(rel, av...)
+	}
+	return q
+}
+
+// Corpus bundles a generated workload.
+type Corpus struct {
+	Queries []*Query
+}
+
+// SyntheticCorpus generates the standard benchmark mix used by the
+// corpus-study experiment (E12): chains, stars, cycles, snowflakes and
+// random CQs/CSPs across a range of sizes.
+func SyntheticCorpus(rng *rand.Rand, perShape int) *Corpus {
+	c := &Corpus{}
+	for i := 0; i < perShape; i++ {
+		c.Queries = append(c.Queries,
+			ChainCQ(3+i, 2+i%2, 1),
+			StarCQ(3+i%4, 2+i%3),
+			CycleCQ(3+i),
+			SnowflakeCQ(2+i%3, 1+i%2),
+			RandomCQ(rng, 4+i%5, 8+i, 3),
+			RandomCSP(rng, 5+i%6, 6+i%4, 4),
+		)
+	}
+	return c
+}
+
+// Stats summarizes the structural properties of a corpus in the style of
+// the HyperBench study: how many instances are acyclic, have iwidth ≤ 2,
+// 3-miwidth ≤ 1, degree ≤ 3, and the maxima of each measure.
+type Stats struct {
+	Total         int
+	Acyclic       int
+	IWidthLE2     int
+	MIWidth3LE1   int
+	DegreeLE3     int
+	MaxIWidth     int
+	MaxMIWidth3   int
+	MaxDegree     int
+	MaxRank       int
+	TotalVertices int
+	TotalEdges    int
+}
+
+// Collect computes corpus statistics.
+func Collect(c *Corpus) Stats {
+	var s Stats
+	for _, q := range c.Queries {
+		h := q.H
+		s.Total++
+		s.TotalVertices += h.NumVertices()
+		s.TotalEdges += h.NumEdges()
+		if h.IsAcyclic() {
+			s.Acyclic++
+		}
+		iw := h.IntersectionWidth()
+		if iw <= 2 {
+			s.IWidthLE2++
+		}
+		if iw > s.MaxIWidth {
+			s.MaxIWidth = iw
+		}
+		mi := h.MultiIntersectionWidth(3)
+		if mi <= 1 {
+			s.MIWidth3LE1++
+		}
+		if mi > s.MaxMIWidth3 {
+			s.MaxMIWidth3 = mi
+		}
+		d := h.Degree()
+		if d <= 3 {
+			s.DegreeLE3++
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if r := h.Rank(); r > s.MaxRank {
+			s.MaxRank = r
+		}
+	}
+	return s
+}

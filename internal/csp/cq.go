@@ -1,0 +1,127 @@
+// Package csp provides the conjunctive-query / constraint-satisfaction
+// front end: a parser from CQ syntax to hypergraphs (the hypergraph of a
+// CQ has the query's variables as vertices and one edge per atom), and a
+// synthetic workload generator that stands in for the HyperBench corpus
+// of CQs and CSPs the paper's companion study [23] analyses.
+package csp
+
+import (
+	"fmt"
+	"strings"
+
+	"hypertree/internal/hypergraph"
+)
+
+// Query is a conjunctive query together with its hypergraph.
+type Query struct {
+	Name string
+	// Head lists the free (answer) variables; empty means a Boolean or
+	// full query depending on the consumer.
+	Head  []string
+	Atoms []Atom
+	H     *hypergraph.Hypergraph
+}
+
+// Atom is one relational atom r(X1,…,Xk).
+type Atom struct {
+	Relation  string
+	Variables []string
+}
+
+// ParseCQ parses a conjunctive query. Accepted forms:
+//
+//	ans(X,Y) :- r(X,Z), s(Z,Y).
+//	r(X,Z), s(Z,Y)
+//
+// A head, if present, is ignored for decomposition purposes (the
+// hypergraph of the query is built from the body atoms). Constants are
+// not supported: every argument is a variable.
+func ParseCQ(input string) (*Query, error) {
+	body := input
+	name := "q"
+	var head []string
+	if i := strings.Index(input, ":-"); i >= 0 {
+		headStr := strings.TrimSpace(input[:i])
+		if j := strings.Index(headStr, "("); j > 0 {
+			name = strings.TrimSpace(headStr[:j])
+			if k := strings.Index(headStr, ")"); k > j {
+				for _, v := range strings.Split(headStr[j+1:k], ",") {
+					if v = strings.TrimSpace(v); v != "" {
+						head = append(head, v)
+					}
+				}
+			}
+		}
+		body = input[i+2:]
+	}
+	q := &Query{Name: name, Head: head, H: hypergraph.New()}
+	rest := strings.TrimSpace(body)
+	rest = strings.TrimSuffix(rest, ".")
+	for len(rest) > 0 {
+		open := strings.Index(rest, "(")
+		if open < 0 {
+			if strings.TrimSpace(rest) == "" {
+				break
+			}
+			return nil, fmt.Errorf("csp: expected atom at %q", rest)
+		}
+		rel := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest[:open]), ","))
+		if rel == "" {
+			return nil, fmt.Errorf("csp: missing relation name at %q", rest)
+		}
+		close := strings.Index(rest[open:], ")")
+		if close < 0 {
+			return nil, fmt.Errorf("csp: unclosed atom %q", rest)
+		}
+		argstr := rest[open+1 : open+close]
+		var vars []string
+		for _, a := range strings.Split(argstr, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("csp: empty argument in atom %s", rel)
+			}
+			vars = append(vars, a)
+		}
+		q.Atoms = append(q.Atoms, Atom{Relation: rel, Variables: vars})
+		rest = strings.TrimSpace(rest[open+close+1:])
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("csp: no atoms")
+	}
+	// Build the hypergraph; atom occurrences of the same relation get
+	// distinct edge names.
+	counts := map[string]int{}
+	for _, a := range q.Atoms {
+		counts[a.Relation]++
+		en := a.Relation
+		if counts[a.Relation] > 1 {
+			en = fmt.Sprintf("%s#%d", a.Relation, counts[a.Relation])
+		}
+		q.H.AddEdge(en, dedup(a.Variables)...)
+	}
+	return q, nil
+}
+
+// dedup removes repeated variables within one atom (r(X,X) has the
+// hyperedge {X}).
+func dedup(vs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MustParseCQ is ParseCQ, panicking on error.
+func MustParseCQ(input string) *Query {
+	q, err := ParseCQ(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,21 @@
+package csp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseCQNeverPanics — random byte soup must never panic the CQ
+// parser.
+func TestParseCQNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	alphabet := []byte("rsXYZ12(),:-. \n")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(50)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		ParseCQ(string(b))
+	}
+}

@@ -1,0 +1,213 @@
+// Package decomp implements the decomposition substrate of the paper
+// (Section 2.3): generalized hypertree decompositions (GHDs), hypertree
+// decompositions (HDs) and fractional hypertree decompositions (FHDs),
+// together with validators for all of their defining conditions and the
+// structural notions the algorithms rely on — the special condition, the
+// weak special condition (Definition 6.3), strictness (Definition 5.18),
+// c-bounded fractional parts (Definition 6.2), bag-maximality
+// (Definition 4.5) and the fractional normal form (Definition 5.20) —
+// plus the transformations of Lemma 4.6 and Theorem A.3.
+package decomp
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// Kind selects which decomposition conditions Validate checks.
+type Kind int
+
+// Decomposition kinds, ordered by strictness: every HD is a GHD and every
+// GHD is an FHD (with 0/1 weights).
+const (
+	// TD checks only conditions (1) and (2): a tree decomposition in
+	// which every hyperedge is contained in some bag.
+	TD Kind = iota
+	// FHD additionally checks condition (3'): Bu ⊆ B(γu).
+	FHD
+	// GHD additionally requires all cover weights integral (λu).
+	GHD
+	// HD additionally checks the special condition (4):
+	// V(Tu) ∩ B(λu) ⊆ Bu.
+	HD
+)
+
+func (k Kind) String() string {
+	switch k {
+	case TD:
+		return "TD"
+	case FHD:
+		return "FHD"
+	case GHD:
+		return "GHD"
+	case HD:
+		return "HD"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is one decomposition node u with its bag Bu and edge-weight
+// function γu (λu in the integral case), stored sparsely.
+type Node struct {
+	Bag      hypergraph.VertexSet
+	Cover    cover.Fractional
+	Parent   int // -1 for the root
+	Children []int
+}
+
+// Decomp is a rooted decomposition of H.
+type Decomp struct {
+	H     *hypergraph.Hypergraph
+	Nodes []Node
+	Root  int
+}
+
+// New returns an empty decomposition of h with no nodes.
+func New(h *hypergraph.Hypergraph) *Decomp {
+	return &Decomp{H: h, Root: -1}
+}
+
+// AddNode appends a node with the given bag and cover under parent
+// (-1 for the root) and returns its index.
+func (d *Decomp) AddNode(parent int, bag hypergraph.VertexSet, cov cover.Fractional) int {
+	id := len(d.Nodes)
+	d.Nodes = append(d.Nodes, Node{Bag: bag.Clone(), Cover: cov.Clone(), Parent: parent})
+	if parent >= 0 {
+		d.Nodes[parent].Children = append(d.Nodes[parent].Children, id)
+	} else {
+		d.Root = id
+	}
+	return id
+}
+
+// Width returns the width of the decomposition: the maximum cover weight
+// over all nodes.
+func (d *Decomp) Width() *big.Rat {
+	w := new(big.Rat)
+	for i := range d.Nodes {
+		if nw := d.Nodes[i].Cover.Weight(); nw.Cmp(w) > 0 {
+			w = nw
+		}
+	}
+	return w
+}
+
+// IsIntegral reports whether every node's cover is 0/1-valued.
+func (d *Decomp) IsIntegral() bool {
+	for i := range d.Nodes {
+		if !d.Nodes[i].Cover.IsIntegral() {
+			return false
+		}
+	}
+	return true
+}
+
+// NumNodes returns the number of decomposition nodes.
+func (d *Decomp) NumNodes() int { return len(d.Nodes) }
+
+// SubtreeVertices returns V(Tu) = ⋃_{u' ∈ Tu} B_{u'}.
+func (d *Decomp) SubtreeVertices(u int) hypergraph.VertexSet {
+	s := hypergraph.NewVertexSet(d.H.NumVertices())
+	var rec func(int)
+	rec = func(n int) {
+		s = s.UnionInPlace(d.Nodes[n].Bag)
+		for _, c := range d.Nodes[n].Children {
+			rec(c)
+		}
+	}
+	rec(u)
+	return s
+}
+
+// NodesWithVertex returns nodes(v): the node indices whose bag contains v.
+func (d *Decomp) NodesWithVertex(v int) []int {
+	var ns []int
+	for i := range d.Nodes {
+		if d.Nodes[i].Bag.Has(v) {
+			ns = append(ns, i)
+		}
+	}
+	return ns
+}
+
+// CoveredSet returns B(γu) for node u.
+func (d *Decomp) CoveredSet(u int) hypergraph.VertexSet {
+	return d.Nodes[u].Cover.Covered(d.H)
+}
+
+// Clone returns a deep copy of d (sharing the hypergraph).
+func (d *Decomp) Clone() *Decomp {
+	c := &Decomp{H: d.H, Root: d.Root, Nodes: make([]Node, len(d.Nodes))}
+	for i, n := range d.Nodes {
+		c.Nodes[i] = Node{
+			Bag:      n.Bag.Clone(),
+			Cover:    n.Cover.Clone(),
+			Parent:   n.Parent,
+			Children: append([]int(nil), n.Children...),
+		}
+	}
+	return c
+}
+
+// PathBetween returns the node indices on the tree path from a to b,
+// inclusive.
+func (d *Decomp) PathBetween(a, b int) []int {
+	// Walk both to the root, then splice.
+	anc := map[int]int{} // node -> distance from a
+	for n, dist := a, 0; n >= 0; n = d.Nodes[n].Parent {
+		anc[n] = dist
+		dist++
+	}
+	var up []int
+	for n := b; ; n = d.Nodes[n].Parent {
+		up = append(up, n)
+		if _, ok := anc[n]; ok {
+			break
+		}
+	}
+	lca := up[len(up)-1]
+	var down []int
+	for n := a; n != lca; n = d.Nodes[n].Parent {
+		down = append(down, n)
+	}
+	path := append(down, lca)
+	for i := len(up) - 2; i >= 0; i-- {
+		path = append(path, up[i])
+	}
+	return path
+}
+
+// String renders the decomposition tree with bags and covers.
+func (d *Decomp) String() string {
+	var b strings.Builder
+	var rec func(u, depth int)
+	rec = func(u, depth int) {
+		n := &d.Nodes[u]
+		fmt.Fprintf(&b, "%s[%d] bag={%s} cover={", strings.Repeat("  ", depth), u,
+			strings.Join(d.H.VertexNames(n.Bag), ","))
+		var parts []string
+		for _, e := range n.Cover.Support() {
+			w := n.Cover[e]
+			if w.Cmp(lp.RI(1)) == 0 {
+				parts = append(parts, d.H.EdgeName(e))
+			} else {
+				parts = append(parts, fmt.Sprintf("%s:%s", d.H.EdgeName(e), w.RatString()))
+			}
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&b, "%s} weight=%s\n", strings.Join(parts, ","), n.Cover.Weight().RatString())
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	if d.Root >= 0 {
+		rec(d.Root, 0)
+	}
+	return b.String()
+}

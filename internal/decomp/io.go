@@ -1,0 +1,139 @@
+package decomp
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+)
+
+// WriteGML renders the decomposition in GML (Graph Modelling Language),
+// the interchange format used by the detkdecomp/newdetkdecomp tools, so
+// decompositions can be inspected with standard graph viewers.
+func (d *Decomp) WriteGML() string {
+	var b strings.Builder
+	b.WriteString("graph [\n  directed 0\n")
+	for u := range d.Nodes {
+		n := &d.Nodes[u]
+		var covParts []string
+		for _, e := range n.Cover.Support() {
+			w := n.Cover[e]
+			if w.Cmp(big.NewRat(1, 1)) == 0 {
+				covParts = append(covParts, d.H.EdgeName(e))
+			} else {
+				covParts = append(covParts, fmt.Sprintf("%s:%s", d.H.EdgeName(e), w.RatString()))
+			}
+		}
+		sort.Strings(covParts)
+		fmt.Fprintf(&b, "  node [\n    id %d\n    label \"{%s} {%s}\"\n  ]\n",
+			u, strings.Join(covParts, ","), strings.Join(d.H.VertexNames(n.Bag), ","))
+	}
+	for u := range d.Nodes {
+		for _, c := range d.Nodes[u].Children {
+			fmt.Fprintf(&b, "  edge [\n    source %d\n    target %d\n  ]\n", u, c)
+		}
+	}
+	b.WriteString("]\n")
+	return b.String()
+}
+
+// MarshalText serializes the decomposition in a line-based format that
+// ParseText reads back:
+//
+//	node <id> <parent> bag=v1,v2 cover=e1:1,e2:1/2
+//
+// Nodes appear parents-before-children; the root has parent -1.
+func (d *Decomp) MarshalText() string {
+	var b strings.Builder
+	var rec func(u int)
+	rec = func(u int) {
+		n := &d.Nodes[u]
+		var covParts []string
+		for _, e := range n.Cover.Support() {
+			covParts = append(covParts, fmt.Sprintf("%s:%s", d.H.EdgeName(e), n.Cover[e].RatString()))
+		}
+		sort.Strings(covParts)
+		fmt.Fprintf(&b, "node %d %d bag=%s cover=%s\n",
+			u, n.Parent,
+			strings.Join(d.H.VertexNames(n.Bag), ","),
+			strings.Join(covParts, ","))
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if d.Root >= 0 {
+		rec(d.Root)
+	}
+	return b.String()
+}
+
+// ParseText reads a decomposition of h in the MarshalText format.
+func ParseText(h *hypergraph.Hypergraph, input string) (*Decomp, error) {
+	d := New(h)
+	ids := map[int]int{} // file id -> node index
+	for lineNo, line := range strings.Split(input, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var id, parent int
+		var rest string
+		if _, err := fmt.Sscanf(line, "node %d %d %s", &id, &parent, &rest); err != nil {
+			return nil, fmt.Errorf("decomp: line %d: %v", lineNo+1, err)
+		}
+		fields := strings.Fields(line)
+		var bagSpec, covSpec string
+		for _, f := range fields {
+			if strings.HasPrefix(f, "bag=") {
+				bagSpec = strings.TrimPrefix(f, "bag=")
+			}
+			if strings.HasPrefix(f, "cover=") {
+				covSpec = strings.TrimPrefix(f, "cover=")
+			}
+		}
+		bag := hypergraph.NewVertexSet(h.NumVertices())
+		if bagSpec != "" {
+			for _, vn := range strings.Split(bagSpec, ",") {
+				v, ok := h.VertexID(vn)
+				if !ok {
+					return nil, fmt.Errorf("decomp: line %d: unknown vertex %q", lineNo+1, vn)
+				}
+				bag.Add(v)
+			}
+		}
+		cov := cover.Fractional{}
+		if covSpec != "" {
+			for _, part := range strings.Split(covSpec, ",") {
+				i := strings.LastIndex(part, ":")
+				if i < 0 {
+					return nil, fmt.Errorf("decomp: line %d: bad cover entry %q", lineNo+1, part)
+				}
+				e, ok := h.EdgeIDByName(part[:i])
+				if !ok {
+					return nil, fmt.Errorf("decomp: line %d: unknown edge %q", lineNo+1, part[:i])
+				}
+				w, ok := new(big.Rat).SetString(part[i+1:])
+				if !ok {
+					return nil, fmt.Errorf("decomp: line %d: bad weight %q", lineNo+1, part[i+1:])
+				}
+				cov[e] = w
+			}
+		}
+		parentIdx := -1
+		if parent >= 0 {
+			p, ok := ids[parent]
+			if !ok {
+				return nil, fmt.Errorf("decomp: line %d: parent %d not yet defined", lineNo+1, parent)
+			}
+			parentIdx = p
+		}
+		ids[id] = d.AddNode(parentIdx, bag, cov)
+	}
+	if d.Root < 0 {
+		return nil, fmt.Errorf("decomp: no nodes")
+	}
+	return d, nil
+}

@@ -1,0 +1,93 @@
+package decomp
+
+import (
+	"strings"
+	"testing"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	h := hypergraph.ExampleH0()
+	for name, build := range map[string]func(*hypergraph.Hypergraph) *Decomp{
+		"fig5":  Figure5HD,
+		"fig6a": Figure6aGHD,
+		"fig6b": Figure6bGHD,
+	} {
+		d := build(h)
+		text := d.MarshalText()
+		back, err := ParseText(h, text)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.NumNodes() != d.NumNodes() {
+			t.Fatalf("%s: %d nodes, want %d", name, back.NumNodes(), d.NumNodes())
+		}
+		if back.Width().Cmp(d.Width()) != 0 {
+			t.Fatalf("%s: width changed in round trip", name)
+		}
+		if err := back.Validate(GHD); err != nil && name != "fig5" {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := back.Validate(FHD); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTextRoundTripFractional(t *testing.T) {
+	h := hypergraph.MustParse("e1(a,b),e2(b,c),e3(c,a)")
+	d := New(h)
+	frac := cover.Fractional{0: lp.R(1, 2), 1: lp.R(1, 2), 2: lp.R(1, 2)}
+	d.AddNode(-1, h.Vertices(), frac)
+	text := d.MarshalText()
+	if !strings.Contains(text, "1/2") {
+		t.Fatalf("fractional weights not serialized: %s", text)
+	}
+	back, err := ParseText(h, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(FHD); err != nil {
+		t.Fatal(err)
+	}
+	if back.Width().Cmp(lp.R(3, 2)) != 0 {
+		t.Fatalf("width = %v", back.Width())
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	h := hypergraph.MustParse("e1(a,b)")
+	for _, bad := range []string{
+		"",
+		"node 0 -1 bag=zzz cover=e1:1",
+		"node 0 -1 bag=a cover=zzz:1",
+		"node 0 -1 bag=a cover=e1:x",
+		"node 0 5 bag=a cover=e1:1",
+		"garbage",
+	} {
+		if _, err := ParseText(h, bad); err == nil {
+			t.Errorf("ParseText(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteGML(t *testing.T) {
+	h := hypergraph.ExampleH0()
+	d := Figure6bGHD(h)
+	gml := d.WriteGML()
+	for _, want := range []string{"graph [", "node [", "edge [", "source 0", "v3"} {
+		if !strings.Contains(gml, want) {
+			t.Fatalf("GML missing %q:\n%s", want, gml)
+		}
+	}
+	// 4 nodes, 3 edges.
+	if got := strings.Count(gml, "node ["); got != 4 {
+		t.Fatalf("%d GML nodes, want 4", got)
+	}
+	if got := strings.Count(gml, "edge ["); got != 3 {
+		t.Fatalf("%d GML edges, want 3", got)
+	}
+}

@@ -1,0 +1,64 @@
+package decomp
+
+import (
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// integral builds a 0/1 cover from edge names.
+func integral(h *hypergraph.Hypergraph, names ...string) cover.Fractional {
+	c := cover.Fractional{}
+	for _, n := range names {
+		e, ok := h.EdgeIDByName(n)
+		if !ok {
+			panic("unknown edge " + n)
+		}
+		c[e] = lp.RI(1)
+	}
+	return c
+}
+
+func bag(h *hypergraph.Hypergraph, names ...string) hypergraph.VertexSet {
+	s := hypergraph.NewVertexSet(h.NumVertices())
+	for _, n := range names {
+		v, ok := h.VertexID(n)
+		if !ok {
+			panic("unknown vertex " + n)
+		}
+		s.Add(v)
+	}
+	return s
+}
+
+// Figure5HD builds the width-3 hypertree decomposition of H₀ shown in
+// Figure 5 of the paper. h must be hypergraph.ExampleH0().
+func Figure5HD(h *hypergraph.Hypergraph) *Decomp {
+	d := New(h)
+	root := d.AddNode(-1, bag(h, "v1", "v2", "v3", "v6", "v7", "v9", "v10"), integral(h, "e1", "e2", "e6"))
+	d.AddNode(root, bag(h, "v3", "v4", "v5", "v6", "v9", "v10"), integral(h, "e3", "e5"))
+	d.AddNode(root, bag(h, "v1", "v7", "v8", "v9", "v10"), integral(h, "e7", "e8"))
+	return d
+}
+
+// Figure6aGHD builds the width-2, non-bag-maximal GHD of H₀ from
+// Figure 6(a): node u' = {v3,v6,v9,v10} can absorb v4 and v5.
+func Figure6aGHD(h *hypergraph.Hypergraph) *Decomp {
+	d := New(h)
+	u0 := d.AddNode(-1, bag(h, "v3", "v6", "v7", "v9", "v10"), integral(h, "e2", "e6"))
+	u1 := d.AddNode(u0, bag(h, "v3", "v7", "v8", "v9", "v10"), integral(h, "e3", "e7"))
+	d.AddNode(u1, bag(h, "v1", "v2", "v3", "v8", "v9", "v10"), integral(h, "e2", "e8"))
+	uP := d.AddNode(u0, bag(h, "v3", "v6", "v9", "v10"), integral(h, "e3", "e5"))
+	d.AddNode(uP, bag(h, "v3", "v4", "v5", "v6", "v9", "v10"), integral(h, "e3", "e5"))
+	return d
+}
+
+// Figure6bGHD builds the width-2, bag-maximal GHD of H₀ from Figure 6(b).
+func Figure6bGHD(h *hypergraph.Hypergraph) *Decomp {
+	d := New(h)
+	u0 := d.AddNode(-1, bag(h, "v3", "v6", "v7", "v9", "v10"), integral(h, "e2", "e6"))
+	u1 := d.AddNode(u0, bag(h, "v3", "v7", "v8", "v9", "v10"), integral(h, "e3", "e7"))
+	d.AddNode(u1, bag(h, "v1", "v2", "v3", "v8", "v9", "v10"), integral(h, "e2", "e8"))
+	d.AddNode(u0, bag(h, "v3", "v4", "v5", "v6", "v9", "v10"), integral(h, "e3", "e5"))
+	return d
+}

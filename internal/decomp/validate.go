@@ -1,0 +1,313 @@
+package decomp
+
+import (
+	"fmt"
+	"math/big"
+
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// Validate checks that d is a well-formed decomposition of its hypergraph
+// for the given kind, returning a descriptive error for the first
+// violated condition:
+//
+//	(1) every edge e ∈ E(H) is contained in some bag;
+//	(2) for every vertex v, the nodes whose bag contains v form a
+//	    connected subtree (the connectedness condition);
+//	(3) Bu ⊆ B(γu) at every node (for FHD/GHD/HD);
+//	(4) the special condition V(Tu) ∩ B(λu) ⊆ Bu (for HD only),
+//
+// plus structural sanity of the tree itself.
+func (d *Decomp) Validate(kind Kind) error {
+	if err := d.checkTree(); err != nil {
+		return err
+	}
+	// Condition (1).
+	for e := 0; e < d.H.NumEdges(); e++ {
+		found := false
+		for u := range d.Nodes {
+			if d.H.Edge(e).IsSubsetOf(d.Nodes[u].Bag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("condition 1: edge %s not contained in any bag", d.H.EdgeName(e))
+		}
+	}
+	// Condition (2).
+	if err := d.checkConnectedness(); err != nil {
+		return err
+	}
+	if kind == TD {
+		return nil
+	}
+	// Condition (3)/(3').
+	for u := range d.Nodes {
+		if !d.Nodes[u].Bag.IsSubsetOf(d.CoveredSet(u)) {
+			return fmt.Errorf("condition 3: bag of node %d not covered by its weight function", u)
+		}
+		for _, w := range d.Nodes[u].Cover {
+			if w.Sign() < 0 || w.Cmp(lp.RI(1)) > 0 {
+				return fmt.Errorf("condition 3: node %d has weight %v outside [0,1]", u, w)
+			}
+		}
+	}
+	if kind == FHD {
+		return nil
+	}
+	if !d.IsIntegral() {
+		return fmt.Errorf("%v requires integral covers", kind)
+	}
+	if kind == GHD {
+		return nil
+	}
+	// Special condition (4).
+	for u := range d.Nodes {
+		vtu := d.SubtreeVertices(u)
+		violating := d.CoveredSet(u).Intersect(vtu).Diff(d.Nodes[u].Bag)
+		if !violating.IsEmpty() {
+			return fmt.Errorf("condition 4 (special condition) violated at node %d for vertices %v",
+				u, d.H.VertexNames(violating))
+		}
+	}
+	return nil
+}
+
+// checkTree verifies parent/child consistency and that all nodes are
+// reachable from the root.
+func (d *Decomp) checkTree() error {
+	if d.Root < 0 || d.Root >= len(d.Nodes) {
+		return fmt.Errorf("invalid root %d", d.Root)
+	}
+	if d.Nodes[d.Root].Parent != -1 {
+		return fmt.Errorf("root %d has parent %d", d.Root, d.Nodes[d.Root].Parent)
+	}
+	seen := make([]bool, len(d.Nodes))
+	var rec func(int) error
+	rec = func(u int) error {
+		if seen[u] {
+			return fmt.Errorf("node %d reached twice (cycle)", u)
+		}
+		seen[u] = true
+		for _, c := range d.Nodes[u].Children {
+			if c < 0 || c >= len(d.Nodes) {
+				return fmt.Errorf("node %d has invalid child %d", u, c)
+			}
+			if d.Nodes[c].Parent != u {
+				return fmt.Errorf("child %d of %d has parent %d", c, u, d.Nodes[c].Parent)
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(d.Root); err != nil {
+		return err
+	}
+	for u := range seen {
+		if !seen[u] {
+			return fmt.Errorf("node %d unreachable from root", u)
+		}
+	}
+	return nil
+}
+
+// checkConnectedness verifies condition (2) for every vertex appearing in
+// some bag, and that every vertex of H appears in some bag (implied by
+// condition (1) when H has no isolated vertices).
+func (d *Decomp) checkConnectedness() error {
+	for v := 0; v < d.H.NumVertices(); v++ {
+		ns := d.NodesWithVertex(v)
+		if len(ns) <= 1 {
+			continue
+		}
+		in := map[int]bool{}
+		for _, n := range ns {
+			in[n] = true
+		}
+		// The nodes form a subtree iff each node except the unique
+		// topmost one has its parent in the set.
+		topmost := 0
+		for _, n := range ns {
+			p := d.Nodes[n].Parent
+			if p < 0 || !in[p] {
+				topmost++
+				if topmost > 1 {
+					return fmt.Errorf("condition 2: vertex %s induces a disconnected set of nodes",
+						d.H.VertexName(v))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsStrict reports whether d is strict (Definition 5.18): at every node,
+// Bu = B(γu) = ⋃ supp(γu).
+func (d *Decomp) IsStrict() bool {
+	for u := range d.Nodes {
+		cov := d.CoveredSet(u)
+		union := d.H.UnionOfEdges(d.Nodes[u].Cover.Support())
+		if !d.Nodes[u].Bag.Equal(cov) || !cov.Equal(union) {
+			return false
+		}
+	}
+	return true
+}
+
+// WeakSpecialCondition reports whether d satisfies Definition 6.3: at
+// every node u, for S = {e | γu(e) = 1}, B(γu|S) ∩ V(Tu) ⊆ Bu. It returns
+// the first offending node, or -1.
+func (d *Decomp) WeakSpecialCondition() int {
+	one := lp.RI(1)
+	for u := range d.Nodes {
+		integral := hypergraph.NewVertexSet(d.H.NumVertices())
+		for e, w := range d.Nodes[u].Cover {
+			if w.Cmp(one) == 0 {
+				integral = integral.UnionInPlace(d.H.Edge(e))
+			}
+		}
+		// B(γu|S) is exactly the union of the weight-1 edges.
+		bad := integral.Intersect(d.SubtreeVertices(u)).Diff(d.Nodes[u].Bag)
+		if !bad.IsEmpty() {
+			return u
+		}
+	}
+	return -1
+}
+
+// FractionalPartSize returns, for node u, |B(γu|R)| where R is the set of
+// edges with weight strictly between 0 and 1 (Definition 6.2). d has
+// c-bounded fractional part iff the maximum over all nodes is ≤ c.
+func (d *Decomp) FractionalPartSize(u int) int {
+	one := lp.RI(1)
+	frac := make(map[int]*big.Rat)
+	for e, w := range d.Nodes[u].Cover {
+		if w.Sign() > 0 && w.Cmp(one) < 0 {
+			frac[e] = w
+		}
+	}
+	sum := map[int]*big.Rat{}
+	for e, w := range frac {
+		d.H.Edge(e).ForEach(func(v int) bool {
+			if sum[v] == nil {
+				sum[v] = new(big.Rat)
+			}
+			sum[v].Add(sum[v], w)
+			return true
+		})
+	}
+	n := 0
+	for _, w := range sum {
+		if w.Cmp(one) >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxFractionalPart returns the maximum FractionalPartSize over all nodes.
+func (d *Decomp) MaxFractionalPart() int {
+	m := 0
+	for u := range d.Nodes {
+		if s := d.FractionalPartSize(u); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// IsBagMaximal reports whether d is bag-maximal (Definition 4.5): no
+// vertex of B(γu) \ Bu can be added to any bag Bu without violating the
+// connectedness condition.
+func (d *Decomp) IsBagMaximal() bool {
+	for u := range d.Nodes {
+		candidates := d.CoveredSet(u).Diff(d.Nodes[u].Bag)
+		ok := true
+		candidates.ForEach(func(v int) bool {
+			if d.canAddToBag(u, v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// canAddToBag reports whether adding v to Bu preserves condition (2).
+func (d *Decomp) canAddToBag(u, v int) bool {
+	ns := d.NodesWithVertex(v)
+	if len(ns) == 0 {
+		return true
+	}
+	// Adding u keeps the subtree connected iff u is adjacent to it (or
+	// already in it). The nodes of v form a subtree with a unique topmost
+	// node t; u is adjacent iff parent(u) is in the set or parent(t)==u.
+	in := map[int]bool{}
+	for _, n := range ns {
+		in[n] = true
+	}
+	if in[u] {
+		return true
+	}
+	if p := d.Nodes[u].Parent; p >= 0 && in[p] {
+		return true
+	}
+	for _, c := range d.Nodes[u].Children {
+		if in[c] {
+			// u adjacent to child subtree; connected only if that child
+			// is the topmost node of v's subtree.
+			topmost := c
+			for _, n := range ns {
+				p := d.Nodes[n].Parent
+				if p < 0 || !in[p] {
+					topmost = n
+				}
+			}
+			return topmost == c
+		}
+	}
+	return false
+}
+
+// ValidateFNF checks the fractional normal form (Definition 5.20): for
+// every node r and child s,
+//
+//	(1) exactly one [Br]-component Cr satisfies V(Ts) = Cr ∪ (Br ∩ Bs);
+//	(2) Bs ∩ Cr ≠ ∅;
+//	(3) B(γs) ∩ Br ⊆ Bs.
+func (d *Decomp) ValidateFNF() error {
+	for r := range d.Nodes {
+		br := d.Nodes[r].Bag
+		comps := d.H.ComponentsOf(br, nil)
+		for _, s := range d.Nodes[r].Children {
+			vts := d.SubtreeVertices(s)
+			bs := d.Nodes[s].Bag
+			matches := 0
+			var cr hypergraph.VertexSet
+			for _, c := range comps {
+				if vts.Equal(c.Union(br.Intersect(bs))) {
+					matches++
+					cr = c
+				}
+			}
+			if matches != 1 {
+				return fmt.Errorf("FNF condition 1: child %d of %d has %d matching [B_r]-components", s, r, matches)
+			}
+			if !bs.Intersects(cr) {
+				return fmt.Errorf("FNF condition 2: child %d of %d has bag disjoint from its component", s, r)
+			}
+			if !d.CoveredSet(s).Intersect(br).IsSubsetOf(bs) {
+				return fmt.Errorf("FNF condition 3: B(γ_%d) ∩ B_%d ⊄ B_%d", s, r, s)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/core"
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+)
+
+func TestRelationOps(t *testing.T) {
+	r := NewRelation("A", "B")
+	r.Insert("1", "x")
+	r.Insert("1", "x") // duplicate
+	r.Insert("2", "y")
+	if r.Size() != 2 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	s := NewRelation("B", "C")
+	s.Insert("x", "p")
+	s.Insert("x", "q")
+	s.Insert("z", "r")
+	j := Join(r, s)
+	if j.Size() != 2 {
+		t.Fatalf("join size = %d, want 2", j.Size())
+	}
+	if len(j.Attrs) != 3 {
+		t.Fatalf("join attrs = %v", j.Attrs)
+	}
+	sj := Semijoin(r, s)
+	if sj.Size() != 1 || sj.Tuples()[0][0] != "1" {
+		t.Fatalf("semijoin = %v", sj.Tuples())
+	}
+	p := j.Project("C")
+	if p.Size() != 2 {
+		t.Fatalf("projection size = %d", p.Size())
+	}
+	// Cross product when no shared attributes.
+	x := Join(r.Project("A"), s.Project("C"))
+	if x.Size() != 2*3 {
+		t.Fatalf("cross size = %d", x.Size())
+	}
+}
+
+func TestEqualModuloAttrOrder(t *testing.T) {
+	a := NewRelation("A", "B")
+	a.Insert("1", "2")
+	b := NewRelation("B", "A")
+	b.Insert("2", "1")
+	if !Equal(a, b) {
+		t.Fatal("relations equal up to attribute order")
+	}
+	b.Insert("3", "4")
+	if Equal(a, b) {
+		t.Fatal("different sizes must differ")
+	}
+}
+
+// randomDB fills each edge of h with random tuples over a small domain.
+func randomDB(rng *rand.Rand, h *hypergraph.Hypergraph, tuples, domain int) Database {
+	db := Database{}
+	for e := 0; e < h.NumEdges(); e++ {
+		var attrs []string
+		h.Edge(e).ForEach(func(v int) bool {
+			attrs = append(attrs, h.VertexName(v))
+			return true
+		})
+		r := NewRelation(attrs...)
+		for i := 0; i < tuples; i++ {
+			vals := make([]string, len(attrs))
+			for j := range vals {
+				vals[j] = fmt.Sprint(rng.Intn(domain))
+			}
+			r.Insert(vals...)
+		}
+		db[e] = r
+	}
+	return db
+}
+
+func TestYannakakisMatchesNaive(t *testing.T) {
+	// The decomposition-based evaluation agrees with the naive join on
+	// random databases over several query shapes.
+	shapes := []*hypergraph.Hypergraph{
+		hypergraph.Path(5),
+		hypergraph.Cycle(5),
+		hypergraph.ExampleH0(),
+		hypergraph.MustParse("r(a,b,c),s(c,d),t(d,e,a)"),
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, h := range shapes {
+		ghw, d := core.ExactGHW(h)
+		if d == nil {
+			t.Fatal("no GHD")
+		}
+		for trial := 0; trial < 3; trial++ {
+			db := randomDB(rng, h, 12, 3)
+			got, err := EvalDecomp(d, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := NaiveJoin(h, db)
+			if !Equal(got, want) {
+				t.Fatalf("ghw=%d: decomposition evaluation differs from naive join (%d vs %d tuples)",
+					ghw, got.Size(), want.Size())
+			}
+		}
+	}
+}
+
+func TestYannakakisOnFractionalDecomp(t *testing.T) {
+	// Evaluation also works along an FHD (supports cover the bags).
+	h := hypergraph.Clique(3)
+	_, d := core.ExactFHW(h)
+	rng := rand.New(rand.NewSource(9))
+	db := randomDB(rng, h, 10, 3)
+	got, err := EvalDecomp(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, NaiveJoin(h, db)) {
+		t.Fatal("FHD evaluation differs from naive join")
+	}
+}
+
+func TestQuickAGMBound(t *testing.T) {
+	// The AGM inequality on random triangle databases:
+	// |R ⋈ S ⋈ T| ≤ (|R||S||T|)^{1/2} with γ ≡ 1/2.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.Clique(3)
+		db := randomDB(rng, h, 4+rng.Intn(20), 4)
+		out := NaiveJoin(h, db)
+		w, gamma := cover.FractionalEdgeCover(h, h.Vertices())
+		if w == nil {
+			return false
+		}
+		sizes := make([]int, h.NumEdges())
+		weights := make([]float64, h.NumEdges())
+		for e := 0; e < h.NumEdges(); e++ {
+			sizes[e] = db[e].Size()
+			if g, ok := gamma[e]; ok {
+				weights[e], _ = g.Float64()
+			}
+		}
+		return float64(out.Size()) <= AGMBound(sizes, weights)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAGMBoundGeneral(t *testing.T) {
+	// AGM on random BIP hypergraphs with optimal fractional covers.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 6, 4, 3, 2)
+		w, gamma := cover.FractionalEdgeCover(h, h.Vertices())
+		if w == nil {
+			return true
+		}
+		db := randomDB(rng, h, 6, 3)
+		out := NaiveJoin(h, db)
+		sizes := make([]int, h.NumEdges())
+		weights := make([]float64, h.NumEdges())
+		for e := 0; e < h.NumEdges(); e++ {
+			sizes[e] = db[e].Size()
+			if g, ok := gamma[e]; ok {
+				weights[e], _ = g.Float64()
+			}
+		}
+		return float64(out.Size()) <= AGMBound(sizes, weights)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatabaseValidate(t *testing.T) {
+	h := hypergraph.MustParse("r(a,b)")
+	db := Database{}
+	if err := db.Validate(h); err == nil {
+		t.Fatal("missing relation must be caught")
+	}
+	db[0] = NewRelation("a", "z")
+	if err := db.Validate(h); err == nil {
+		t.Fatal("foreign attribute must be caught")
+	}
+	db[0] = NewRelation("a", "b")
+	if err := db.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyRelationsPropagate(t *testing.T) {
+	h := hypergraph.Path(4)
+	_, d := core.ExactGHW(h)
+	db := Database{}
+	for e := 0; e < h.NumEdges(); e++ {
+		var attrs []string
+		h.Edge(e).ForEach(func(v int) bool {
+			attrs = append(attrs, h.VertexName(v))
+			return true
+		})
+		db[e] = NewRelation(attrs...)
+	}
+	db[0].Insert("1", "2")
+	out, err := EvalDecomp(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 0 {
+		t.Fatal("empty relation must empty the join")
+	}
+}

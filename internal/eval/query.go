@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"fmt"
+
+	"hypertree/internal/csp"
+	"hypertree/internal/decomp"
+)
+
+// EvalQuery answers a conjunctive query over db along a decomposition of
+// its hypergraph: the full join is computed by EvalDecomp and projected
+// onto the query's head (free) variables; a query with an empty head
+// returns the full result over all variables.
+func EvalQuery(q *csp.Query, d *decomp.Decomp, db Database) (*Relation, error) {
+	full, err := EvalDecomp(d, db)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Head) == 0 {
+		return full, nil
+	}
+	pos := map[string]bool{}
+	for _, a := range full.Attrs {
+		pos[a] = true
+	}
+	for _, v := range q.Head {
+		if !pos[v] {
+			return nil, fmt.Errorf("eval: head variable %s not bound by the body", v)
+		}
+	}
+	return full.Project(q.Head...), nil
+}
+
+// DatabaseFor builds an empty database with one correctly-attributed
+// relation per atom of the query, ready to Insert into.
+func DatabaseFor(q *csp.Query) Database {
+	db := Database{}
+	for e := 0; e < q.H.NumEdges(); e++ {
+		var attrs []string
+		q.H.Edge(e).ForEach(func(v int) bool {
+			attrs = append(attrs, q.H.VertexName(v))
+			return true
+		})
+		db[e] = NewRelation(attrs...)
+	}
+	return db
+}

@@ -1,0 +1,202 @@
+// Package eval implements the application layer that motivates the whole
+// paper: answering conjunctive queries by decomposition. It provides
+// in-memory relations with natural join, semijoin and projection, the
+// Yannakakis-style evaluation of a query along a (G/F)HD — polynomial in
+// input size and output size once the width is bounded — and the
+// AGM output-size bound |Q(D)| ≤ Π_e |R_e|^{γ(e)} given by a fractional
+// edge cover γ (Atserias–Grohe–Marx, cited as [8]).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Relation is an in-memory relation: a header of attribute names and a
+// set of tuples. Tuples are kept deduplicated by Insert.
+type Relation struct {
+	Attrs  []string
+	tuples [][]string
+	index  map[string]bool
+}
+
+// NewRelation returns an empty relation over the given attributes.
+func NewRelation(attrs ...string) *Relation {
+	return &Relation{Attrs: attrs, index: map[string]bool{}}
+}
+
+// Insert adds a tuple (one value per attribute); duplicates are ignored.
+func (r *Relation) Insert(values ...string) {
+	if len(values) != len(r.Attrs) {
+		panic(fmt.Sprintf("eval: tuple arity %d != relation arity %d", len(values), len(r.Attrs)))
+	}
+	k := strings.Join(values, "\x00")
+	if r.index[k] {
+		return
+	}
+	r.index[k] = true
+	r.tuples = append(r.tuples, append([]string(nil), values...))
+}
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Tuples returns the tuples (not to be modified).
+func (r *Relation) Tuples() [][]string { return r.tuples }
+
+// attrPos returns the position of each attribute name.
+func (r *Relation) attrPos() map[string]int {
+	m := make(map[string]int, len(r.Attrs))
+	for i, a := range r.Attrs {
+		m[a] = i
+	}
+	return m
+}
+
+// Project returns the relation projected (with deduplication) onto attrs,
+// which must all be present.
+func (r *Relation) Project(attrs ...string) *Relation {
+	pos := r.attrPos()
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := pos[a]
+		if !ok {
+			panic("eval: projection on missing attribute " + a)
+		}
+		idx[i] = p
+	}
+	out := NewRelation(attrs...)
+	for _, t := range r.tuples {
+		vals := make([]string, len(idx))
+		for i, p := range idx {
+			vals[i] = t[p]
+		}
+		out.Insert(vals...)
+	}
+	return out
+}
+
+// joinKey extracts the values of the shared attributes, in order.
+func joinKey(t []string, idx []int) string {
+	parts := make([]string, len(idx))
+	for i, p := range idx {
+		parts[i] = t[p]
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// shared returns the attribute names common to a and b, sorted, with
+// their positions in each.
+func shared(a, b *Relation) (names []string, ai, bi []int) {
+	bp := b.attrPos()
+	for i, n := range a.Attrs {
+		if j, ok := bp[n]; ok {
+			names = append(names, n)
+			ai = append(ai, i)
+			bi = append(bi, j)
+		}
+	}
+	return
+}
+
+// Join returns the natural join a ⋈ b (hash join on the shared
+// attributes; a cross product if none are shared).
+func Join(a, b *Relation) *Relation {
+	_, ai, bi := shared(a, b)
+	// Output header: a's attributes then b's non-shared ones.
+	bShared := map[int]bool{}
+	for _, j := range bi {
+		bShared[j] = true
+	}
+	attrs := append([]string(nil), a.Attrs...)
+	var bKeep []int
+	for j, n := range b.Attrs {
+		if !bShared[j] {
+			attrs = append(attrs, n)
+			bKeep = append(bKeep, j)
+		}
+	}
+	out := NewRelation(attrs...)
+	hash := map[string][][]string{}
+	for _, t := range b.tuples {
+		k := joinKey(t, bi)
+		hash[k] = append(hash[k], t)
+	}
+	for _, t := range a.tuples {
+		for _, u := range hash[joinKey(t, ai)] {
+			vals := append([]string(nil), t...)
+			for _, j := range bKeep {
+				vals = append(vals, u[j])
+			}
+			out.Insert(vals...)
+		}
+	}
+	return out
+}
+
+// Semijoin returns a ⋉ b: the tuples of a that join with some tuple of b.
+func Semijoin(a, b *Relation) *Relation {
+	_, ai, bi := shared(a, b)
+	keys := map[string]bool{}
+	for _, t := range b.tuples {
+		keys[joinKey(t, bi)] = true
+	}
+	out := NewRelation(a.Attrs...)
+	for _, t := range a.tuples {
+		if keys[joinKey(t, ai)] {
+			out.Insert(t...)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two relations have the same attribute set and
+// the same tuples (up to attribute order).
+func Equal(a, b *Relation) bool {
+	as := append([]string(nil), a.Attrs...)
+	bs := append([]string(nil), b.Attrs...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	pa := a.Project(as...)
+	pb := b.Project(bs...)
+	if pa.Size() != pb.Size() {
+		return false
+	}
+	seen := map[string]bool{}
+	for _, t := range pa.tuples {
+		seen[strings.Join(t, "\x00")] = true
+	}
+	for _, t := range pb.tuples {
+		if !seen[strings.Join(t, "\x00")] {
+			return false
+		}
+	}
+	return true
+}
+
+// AGMBound returns the Atserias–Grohe–Marx bound Π_e |R_e|^{γ(e)} on the
+// output size of a join, given the relation sizes and a fractional edge
+// cover γ of the query's variables (weights as float64 exponents).
+func AGMBound(sizes []int, weights []float64) float64 {
+	bound := 1.0
+	for i, s := range sizes {
+		if weights[i] == 0 {
+			continue
+		}
+		if s == 0 {
+			return 0
+		}
+		bound *= math.Pow(float64(s), weights[i])
+	}
+	return bound
+}

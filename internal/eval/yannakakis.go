@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"fmt"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+// Database maps hypergraph edge index → relation. The relation's
+// attributes must be exactly the vertex names of the edge.
+type Database map[int]*Relation
+
+// Validate checks that every edge of h has a relation with matching
+// attributes.
+func (db Database) Validate(h *hypergraph.Hypergraph) error {
+	for e := 0; e < h.NumEdges(); e++ {
+		r, ok := db[e]
+		if !ok {
+			return fmt.Errorf("eval: no relation for edge %s", h.EdgeName(e))
+		}
+		want := map[string]bool{}
+		h.Edge(e).ForEach(func(v int) bool {
+			want[h.VertexName(v)] = true
+			return true
+		})
+		if len(want) != len(r.Attrs) {
+			return fmt.Errorf("eval: relation %s has arity %d, edge has %d",
+				h.EdgeName(e), len(r.Attrs), len(want))
+		}
+		for _, a := range r.Attrs {
+			if !want[a] {
+				return fmt.Errorf("eval: relation %s has foreign attribute %s", h.EdgeName(e), a)
+			}
+		}
+	}
+	return nil
+}
+
+// NaiveJoin evaluates the full join of all relations — the exponential
+// baseline the decomposition-based evaluation is compared against.
+func NaiveJoin(h *hypergraph.Hypergraph, db Database) *Relation {
+	var out *Relation
+	for e := 0; e < h.NumEdges(); e++ {
+		if out == nil {
+			out = db[e]
+		} else {
+			out = Join(out, db[e])
+		}
+	}
+	return out
+}
+
+// EvalDecomp answers the full conjunctive query described by h over db
+// using a decomposition d of h: the classical Yannakakis algorithm lifted
+// to (G/F)HDs.
+//
+//  1. Each decomposition node u is materialized as the join of the
+//     relations in supp(γu), projected onto Bu. For fractional covers the
+//     support still covers the bag, so the same construction applies —
+//     the width then bounds the materialization size via the AGM bound
+//     |bag_u| ≤ Π_{e ∈ supp(γu)} |R_e|^{γu(e)} ≤ N^width.
+//  2. A bottom-up then top-down semijoin sweep makes all bags globally
+//     consistent.
+//  3. A final bottom-up join produces the result, projected onto all
+//     variables of the query.
+//
+// Every intermediate relation in step 3 is a subset of the final result
+// extended by bag attributes, so evaluation is polynomial in
+// input + output for fixed width — the tractability that bounded
+// (fractional) hypertree width buys (Section 1).
+func EvalDecomp(d *decomp.Decomp, db Database) (*Relation, error) {
+	if err := db.Validate(d.H); err != nil {
+		return nil, err
+	}
+	h := d.H
+	// Step 1: materialize bags.
+	bags := make([]*Relation, len(d.Nodes))
+	for u := range d.Nodes {
+		sup := d.Nodes[u].Cover.Support()
+		if len(sup) == 0 {
+			return nil, fmt.Errorf("eval: node %d has empty cover", u)
+		}
+		rel := db[sup[0]]
+		for _, e := range sup[1:] {
+			rel = Join(rel, db[e])
+		}
+		var attrs []string
+		d.Nodes[u].Bag.ForEach(func(v int) bool {
+			attrs = append(attrs, h.VertexName(v))
+			return true
+		})
+		bags[u] = rel.Project(attrs...)
+	}
+	// Assign each query edge to a covering node and semijoin-reduce that
+	// bag by the edge's relation (bags may be strictly larger than the
+	// edges they cover).
+	for e := 0; e < h.NumEdges(); e++ {
+		for u := range d.Nodes {
+			if h.Edge(e).IsSubsetOf(d.Nodes[u].Bag) {
+				bags[u] = Semijoin(bags[u], db[e])
+				break
+			}
+		}
+	}
+
+	order := postorder(d)
+	// Step 2a: bottom-up semijoins.
+	for _, u := range order {
+		for _, c := range d.Nodes[u].Children {
+			bags[u] = Semijoin(bags[u], bags[c])
+		}
+	}
+	// Step 2b: top-down semijoins.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, c := range d.Nodes[u].Children {
+			bags[c] = Semijoin(bags[c], bags[u])
+		}
+	}
+	// Step 3: bottom-up joins.
+	results := make([]*Relation, len(d.Nodes))
+	for _, u := range order {
+		rel := bags[u]
+		for _, c := range d.Nodes[u].Children {
+			rel = Join(rel, results[c])
+		}
+		results[u] = rel
+	}
+	return results[d.Root], nil
+}
+
+// postorder returns the nodes of d children-before-parents.
+func postorder(d *decomp.Decomp) []int {
+	var order []int
+	var rec func(int)
+	rec = func(u int) {
+		for _, c := range d.Nodes[u].Children {
+			rec(c)
+		}
+		order = append(order, u)
+	}
+	rec(d.Root)
+	return order
+}

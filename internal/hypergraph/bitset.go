@@ -1,0 +1,225 @@
+package hypergraph
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// VertexSet is a set of vertex indices represented as a bitset. The zero
+// value is the empty set. Operations tolerate operands of different word
+// lengths; missing words are treated as zero.
+type VertexSet []uint64
+
+// NewVertexSet returns an empty set with capacity for vertices 0..n-1.
+func NewVertexSet(n int) VertexSet {
+	return make(VertexSet, (n+63)/64)
+}
+
+// SetOf returns the set containing exactly the given vertices.
+func SetOf(vs ...int) VertexSet {
+	var s VertexSet
+	for _, v := range vs {
+		s = s.With(v)
+	}
+	return s
+}
+
+// grow returns s extended (in place if possible) so that word index w exists.
+func (s VertexSet) grow(w int) VertexSet {
+	for len(s) <= w {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// With returns s ∪ {v}. The receiver is not modified.
+func (s VertexSet) With(v int) VertexSet {
+	t := s.Clone().grow(v / 64)
+	t[v/64] |= 1 << uint(v%64)
+	return t
+}
+
+// Without returns s \ {v}. The receiver is not modified.
+func (s VertexSet) Without(v int) VertexSet {
+	if !s.Has(v) {
+		return s.Clone()
+	}
+	t := s.Clone()
+	t[v/64] &^= 1 << uint(v%64)
+	return t
+}
+
+// Add inserts v into s, growing the receiver as needed, and returns it.
+func (s *VertexSet) Add(v int) {
+	*s = (*s).grow(v / 64)
+	(*s)[v/64] |= 1 << uint(v%64)
+}
+
+// Has reports whether v is in s.
+func (s VertexSet) Has(v int) bool {
+	w := v / 64
+	return w < len(s) && s[w]&(1<<uint(v%64)) != 0
+}
+
+// IsEmpty reports whether s contains no vertices.
+func (s VertexSet) IsEmpty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of vertices in s.
+func (s VertexSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of s.
+func (s VertexSet) Clone() VertexSet {
+	t := make(VertexSet, len(s))
+	copy(t, s)
+	return t
+}
+
+// Union returns s ∪ t.
+func (s VertexSet) Union(t VertexSet) VertexSet {
+	a, b := s, t
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	r := a.Clone()
+	for i, w := range b {
+		r[i] |= w
+	}
+	return r
+}
+
+// Intersect returns s ∩ t.
+func (s VertexSet) Intersect(t VertexSet) VertexSet {
+	n := min(len(s), len(t))
+	r := make(VertexSet, n)
+	for i := 0; i < n; i++ {
+		r[i] = s[i] & t[i]
+	}
+	return r
+}
+
+// Diff returns s \ t.
+func (s VertexSet) Diff(t VertexSet) VertexSet {
+	r := s.Clone()
+	for i := 0; i < len(r) && i < len(t); i++ {
+		r[i] &^= t[i]
+	}
+	return r
+}
+
+// UnionInPlace adds all vertices of t to s and returns s (possibly regrown).
+func (s VertexSet) UnionInPlace(t VertexSet) VertexSet {
+	r := s.grow(len(t) - 1)
+	for i, w := range t {
+		r[i] |= w
+	}
+	return r
+}
+
+// IsSubsetOf reports whether every vertex of s is in t.
+func (s VertexSet) IsSubsetOf(t VertexSet) bool {
+	for i, w := range s {
+		if i < len(t) {
+			if w&^t[i] != 0 {
+				return false
+			}
+		} else if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s VertexSet) Intersects(t VertexSet) bool {
+	n := min(len(s), len(t))
+	for i := 0; i < n; i++ {
+		if s[i]&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same vertices.
+func (s VertexSet) Equal(t VertexSet) bool {
+	a, b := s, t
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	for i, w := range a {
+		if i < len(b) {
+			if w != b[i] {
+				return false
+			}
+		} else if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Vertices returns the members of s in increasing order.
+func (s VertexSet) Vertices() []int {
+	vs := make([]int, 0, s.Count())
+	for i, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			vs = append(vs, i*64+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return vs
+}
+
+// ForEach calls f for every vertex in s in increasing order. If f returns
+// false, iteration stops.
+func (s VertexSet) ForEach(f func(v int) bool) {
+	for i, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(i*64 + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// First returns the smallest vertex in s, or -1 if s is empty.
+func (s VertexSet) First() int {
+	for i, w := range s {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Key returns a canonical string key for use in maps. Trailing zero words
+// do not affect the key, so sets that are Equal produce identical keys.
+func (s VertexSet) Key() string {
+	n := len(s)
+	for n > 0 && s[n-1] == 0 {
+		n--
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(strconv.FormatUint(s[i], 36))
+		b.WriteByte('.')
+	}
+	return b.String()
+}

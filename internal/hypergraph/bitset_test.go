@@ -1,0 +1,125 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVertexSetBasics(t *testing.T) {
+	s := NewVertexSet(10)
+	if !s.IsEmpty() {
+		t.Fatal("new set not empty")
+	}
+	s.Add(3)
+	s.Add(70)
+	s.Add(3)
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if !s.Has(3) || !s.Has(70) || s.Has(4) {
+		t.Fatal("membership wrong")
+	}
+	if got := s.Vertices(); !reflect.DeepEqual(got, []int{3, 70}) {
+		t.Fatalf("Vertices = %v", got)
+	}
+	if s.First() != 3 {
+		t.Fatalf("First = %d", s.First())
+	}
+	w := s.Without(3)
+	if w.Has(3) || !s.Has(3) {
+		t.Fatal("Without must not mutate receiver")
+	}
+}
+
+func TestVertexSetAlgebra(t *testing.T) {
+	a := SetOf(1, 2, 3, 64, 65)
+	b := SetOf(3, 64, 100)
+	if got := a.Union(b).Vertices(); !reflect.DeepEqual(got, []int{1, 2, 3, 64, 65, 100}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Vertices(); !reflect.DeepEqual(got, []int{3, 64}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Diff(b).Vertices(); !reflect.DeepEqual(got, []int{1, 2, 65}) {
+		t.Fatalf("Diff = %v", got)
+	}
+	if !a.Intersects(b) || a.IsSubsetOf(b) || !SetOf(3, 64).IsSubsetOf(a) {
+		t.Fatal("relations wrong")
+	}
+}
+
+func TestVertexSetUnequalLengths(t *testing.T) {
+	short := SetOf(1)
+	long := SetOf(1, 200)
+	if !short.IsSubsetOf(long) {
+		t.Fatal("short ⊆ long")
+	}
+	if long.IsSubsetOf(short) {
+		t.Fatal("long ⊄ short")
+	}
+	if !long.Diff(short).Equal(SetOf(200)) {
+		t.Fatal("diff with shorter operand")
+	}
+	if !short.Union(long).Equal(long) {
+		t.Fatal("union with longer operand")
+	}
+	if !SetOf(1).Equal(append(SetOf(1), 0, 0)) {
+		t.Fatal("Equal must ignore trailing zero words")
+	}
+	if SetOf(1).Key() != append(SetOf(1), 0, 0).Key() {
+		t.Fatal("Key must ignore trailing zero words")
+	}
+}
+
+// randSet builds a random VertexSet over 0..127 from quick-generated data.
+func randSet(rng *rand.Rand) VertexSet {
+	s := NewVertexSet(128)
+	n := rng.Intn(20)
+	for i := 0; i < n; i++ {
+		s.Add(rng.Intn(128))
+	}
+	return s
+}
+
+func TestQuickSetLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// De Morgan-ish law on finite universe: |A∪B| + |A∩B| = |A| + |B|.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSet(rng), randSet(rng)
+		if a.Union(b).Count()+a.Intersect(b).Count() != a.Count()+b.Count() {
+			return false
+		}
+		// A \ B and A ∩ B partition A.
+		if a.Diff(b).Count()+a.Intersect(b).Count() != a.Count() {
+			return false
+		}
+		// Union is the smallest superset.
+		if !a.IsSubsetOf(a.Union(b)) || !b.IsSubsetOf(a.Union(b)) {
+			return false
+		}
+		// Key equality agrees with Equal.
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetTransitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSet(rng)
+		b := a.Union(randSet(rng))
+		c := b.Union(randSet(rng))
+		return a.IsSubsetOf(b) && b.IsSubsetOf(c) && a.IsSubsetOf(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

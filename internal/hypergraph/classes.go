@@ -1,0 +1,37 @@
+package hypergraph
+
+import "math"
+
+// size returns the size ‖H‖ = Σ|e| + |V| used by the logarithmic class
+// definitions.
+func (h *Hypergraph) size() int {
+	n := h.NumVertices()
+	for _, e := range h.edges {
+		n += e.Count()
+	}
+	return n
+}
+
+// HasBIP reports whether H has the i-bounded intersection property
+// (Definition 4.1): iwidth(H) ≤ i.
+func (h *Hypergraph) HasBIP(i int) bool { return h.IntersectionWidth() <= i }
+
+// HasBMIP reports whether H has the i-bounded c-multi-intersection
+// property (Definition 4.2): c-miwidth(H) ≤ i.
+func (h *Hypergraph) HasBMIP(c, i int) bool { return h.MultiIntersectionWidth(c) <= i }
+
+// HasLogBIP reports whether iwidth(H) ≤ a·log₂‖H‖ — the per-instance
+// version of the LogBIP class condition with multiplier a.
+func (h *Hypergraph) HasLogBIP(a float64) bool {
+	return float64(h.IntersectionWidth()) <= a*math.Log2(float64(h.size())+1)
+}
+
+// HasLogBMIP reports whether c-miwidth(H) ≤ a·log₂‖H‖ — the
+// per-instance LogBMIP condition for a fixed number c of edges.
+func (h *Hypergraph) HasLogBMIP(c int, a float64) bool {
+	return float64(h.MultiIntersectionWidth(c)) <= a*math.Log2(float64(h.size())+1)
+}
+
+// HasBDP reports whether H has the d-bounded degree property
+// (Definition 4.13): degree(H) ≤ d.
+func (h *Hypergraph) HasBDP(d int) bool { return h.Degree() <= d }

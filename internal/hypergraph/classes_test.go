@@ -1,0 +1,37 @@
+package hypergraph
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	// Grids and cliques have the 1-BIP (Section 4: "several well-known
+	// classes of unbounded ghw enjoy the 1-BIP, such as cliques and
+	// grids").
+	for _, h := range []*Hypergraph{Clique(8), Grid(3, 4)} {
+		if !h.HasBIP(1) {
+			t.Error("cliques/grids must have the 1-BIP")
+		}
+		if !h.HasLogBIP(1) {
+			t.Error("1-BIP implies LogBIP")
+		}
+	}
+	h0 := ExampleH0()
+	if !h0.HasBIP(1) || !h0.HasBMIP(3, 1) || !h0.HasBMIP(4, 0) {
+		t.Error("Example 4.3 intersection properties wrong")
+	}
+	if !h0.HasBDP(3) || h0.HasBDP(2) {
+		t.Error("H0 has degree exactly 3")
+	}
+	// The AntiBMIP family violates every fixed BMIP for large n...
+	big := AntiBMIP(12)
+	if big.HasBMIP(3, 2) {
+		t.Error("AntiBMIP_12 has 3-miwidth 9 > 2")
+	}
+	// ... and even LogBMIP with small multipliers.
+	if big.HasLogBMIP(3, 1) {
+		t.Error("AntiBMIP_12 should violate LogBMIP with a=1")
+	}
+	// Example 5.1 family: BIP but unbounded rank.
+	if !UnboundedSupport(20).HasBIP(1) {
+		t.Error("Example 5.1 family has the 1-BIP")
+	}
+}

@@ -1,0 +1,60 @@
+package hypergraph
+
+// ComponentsOf returns the [C]-components of H: the maximal [C]-connected
+// non-empty vertex sets W ⊆ V(H) \ C (paper, Section 2.1). Two vertices
+// are [C]-adjacent if some edge contains both outside C; a [C]-component
+// is an equivalence class of the transitive closure.
+//
+// Only vertices of scope are considered when scope is non-nil; this is used
+// by the decomposition algorithms, which need the [C]-components that lie
+// inside the current component. Passing nil uses all of V(H).
+func (h *Hypergraph) ComponentsOf(c VertexSet, scope VertexSet) []VertexSet {
+	if scope == nil {
+		scope = h.Vertices()
+	}
+	free := scope.Diff(c)
+	var comps []VertexSet
+	remaining := free.Clone()
+	for {
+		start := remaining.First()
+		if start < 0 {
+			break
+		}
+		comp := NewVertexSet(h.NumVertices())
+		comp.Add(start)
+		frontier := NewVertexSet(h.NumVertices())
+		frontier.Add(start)
+		for !frontier.IsEmpty() {
+			next := NewVertexSet(h.NumVertices())
+			for _, s := range h.edges {
+				if !s.Intersects(frontier) {
+					continue
+				}
+				add := s.Diff(c).Intersect(free).Diff(comp)
+				next = next.UnionInPlace(add)
+			}
+			comp = comp.UnionInPlace(next)
+			frontier = next
+		}
+		comps = append(comps, comp)
+		remaining = remaining.Diff(comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether H is [∅]-connected (a single component), or
+// empty.
+func (h *Hypergraph) IsConnected() bool {
+	return len(h.ComponentsOf(NewVertexSet(h.NumVertices()), nil)) <= 1
+}
+
+// ConnectedTo reports whether the vertex sets a and b are joined by a
+// [C]-path in H.
+func (h *Hypergraph) ConnectedTo(a, b, c VertexSet) bool {
+	for _, comp := range h.ComponentsOf(c, nil) {
+		if comp.Intersects(a) && comp.Intersects(b) {
+			return true
+		}
+	}
+	return a.Diff(c).Intersects(b.Diff(c))
+}

@@ -1,0 +1,23 @@
+package hypergraph
+
+// ExampleH0 returns the hypergraph H₀ of Example 4.3 (Figure 4), the
+// classic witness (from Gottlob/Miklós/Schwentick, inspired by Adler) that
+// ghw and hw differ: ghw(H₀) = 2 but hw(H₀) = 3.
+//
+// It is an 8-cycle v1…v8 whose edges e2,e5,e7 additionally pass through
+// the hub v9 and e3,e6,e8 through the hub v10; e1 and e4 are plain cycle
+// edges. All facts the paper states about H₀ hold for this encoding and
+// are asserted in tests: iwidth(H₀) = 1, 3-miwidth(H₀) = 1,
+// 4-miwidth(H₀) = 0, e2 ∩ (e3 ∪ e7) = {v3,v9} (Examples 4.4/4.10/4.12),
+// and the decompositions of Figures 5 and 6 are valid with widths 3 and 2.
+func ExampleH0() *Hypergraph {
+	return MustParse(`
+		e1(v1,v2),
+		e2(v2,v3,v9),
+		e3(v3,v4,v10),
+		e4(v4,v5),
+		e5(v5,v6,v9),
+		e6(v6,v7,v10),
+		e7(v7,v8,v9),
+		e8(v8,v1,v10)`)
+}

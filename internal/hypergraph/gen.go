@@ -1,0 +1,228 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Clique returns the graph clique K_n: n vertices, all 2-element edges.
+// Used by Lemma 2.3 (ρ(K_2n) = ρ*(K_2n) = n) and the k+ℓ width-lift
+// construction at the end of Section 3.
+func Clique(n int) *Hypergraph {
+	h := New()
+	for i := 0; i < n; i++ {
+		h.Vertex(fmt.Sprintf("v%d", i+1))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			h.AddEdge(fmt.Sprintf("e%d_%d", i+1, j+1), fmt.Sprintf("v%d", i+1), fmt.Sprintf("v%d", j+1))
+		}
+	}
+	return h
+}
+
+// Cycle returns the graph cycle C_n (n ≥ 3).
+func Cycle(n int) *Hypergraph {
+	h := New()
+	for i := 0; i < n; i++ {
+		h.AddEdge(fmt.Sprintf("e%d", i+1),
+			fmt.Sprintf("v%d", i+1), fmt.Sprintf("v%d", (i+1)%n+1))
+	}
+	return h
+}
+
+// Grid returns the r×c grid graph. Grids have 1-BIP yet unbounded ghw,
+// making them the paper's example of a non-trivial BIP class.
+func Grid(r, c int) *Hypergraph {
+	h := New()
+	name := func(i, j int) string { return fmt.Sprintf("v%d_%d", i, j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				h.AddEdge(fmt.Sprintf("h%d_%d", i, j), name(i, j), name(i, j+1))
+			}
+			if i+1 < r {
+				h.AddEdge(fmt.Sprintf("g%d_%d", i, j), name(i, j), name(i+1, j))
+			}
+		}
+	}
+	return h
+}
+
+// Path returns the path graph with n vertices (acyclic, hw = 1).
+func Path(n int) *Hypergraph {
+	h := New()
+	for i := 0; i+1 < n; i++ {
+		h.AddEdge(fmt.Sprintf("e%d", i+1), fmt.Sprintf("v%d", i+1), fmt.Sprintf("v%d", i+2))
+	}
+	return h
+}
+
+// UnboundedSupport returns the hypergraph H_n of Example 5.1:
+//
+//	V = {v0, …, vn},  E = {{v0, vi} | 1 ≤ i ≤ n} ∪ {{v1, …, vn}}.
+//
+// It has iwidth 1 but its optimal fractional edge cover needs support of
+// size n+1 with weight 2 − 1/n.
+func UnboundedSupport(n int) *Hypergraph {
+	h := New()
+	h.Vertex("v0")
+	big := make([]string, n)
+	for i := 1; i <= n; i++ {
+		big[i-1] = fmt.Sprintf("v%d", i)
+		h.AddEdge(fmt.Sprintf("s%d", i), "v0", big[i-1])
+	}
+	h.AddEdge("big", big...)
+	return h
+}
+
+// AntiBMIP returns the hypergraph H_n from the proof of Lemma 6.24:
+//
+//	V = {v1, …, vn},  E = {V \ {vi} | 1 ≤ i ≤ n}.
+//
+// Its VC dimension is < 2 but c-miwidth(H_n) ≥ n − c for every c, so the
+// family has bounded VC dimension without the BMIP.
+func AntiBMIP(n int) *Hypergraph {
+	h := New()
+	for i := 1; i <= n; i++ {
+		h.Vertex(fmt.Sprintf("v%d", i))
+	}
+	for i := 1; i <= n; i++ {
+		var vs []string
+		for j := 1; j <= n; j++ {
+			if j != i {
+				vs = append(vs, fmt.Sprintf("v%d", j))
+			}
+		}
+		h.AddEdge(fmt.Sprintf("e%d", i), vs...)
+	}
+	return h
+}
+
+// HyperCycle returns a cyclic chain of m edges of the given arity where
+// consecutive edges overlap in `overlap` vertices. For overlap 1 and arity
+// 2 this is the graph cycle. Larger overlaps produce hypergraphs with
+// iwidth = overlap, exercising the BIP machinery with i > 1.
+func HyperCycle(m, arity, overlap int) *Hypergraph {
+	if overlap >= arity {
+		panic("hypergraph: overlap must be smaller than arity")
+	}
+	h := New()
+	step := arity - overlap
+	total := m * step
+	vname := func(i int) string { return fmt.Sprintf("v%d", i%total) }
+	for e := 0; e < m; e++ {
+		var vs []string
+		for j := 0; j < arity; j++ {
+			vs = append(vs, vname(e*step+j))
+		}
+		h.AddEdge(fmt.Sprintf("e%d", e+1), vs...)
+	}
+	return h
+}
+
+// RandomBIP returns a random connected hypergraph with n vertices, m edges
+// of arity ≤ maxArity whose pairwise intersections have size ≤ i. Edges
+// are sampled and rejected if they violate the intersection bound; the
+// result is guaranteed to have the i-BIP and no isolated vertices.
+func RandomBIP(rng *rand.Rand, n, m, maxArity, i int) *Hypergraph {
+	h := New()
+	for v := 0; v < n; v++ {
+		h.Vertex(fmt.Sprintf("v%d", v+1))
+	}
+	var chosen []VertexSet
+	for e := 0; e < m; e++ {
+		for attempt := 0; ; attempt++ {
+			arity := 2 + rng.Intn(maxArity-1)
+			s := NewVertexSet(n)
+			// Bias towards connectivity: start from a vertex of a prior
+			// edge when possible.
+			if len(chosen) > 0 {
+				prev := chosen[rng.Intn(len(chosen))]
+				vs := prev.Vertices()
+				s.Add(vs[rng.Intn(len(vs))])
+			}
+			for s.Count() < arity {
+				s.Add(rng.Intn(n))
+			}
+			ok := true
+			for _, t := range chosen {
+				if s.Intersect(t).Count() > i || s.Equal(t) {
+					ok = false
+					break
+				}
+			}
+			if ok || attempt > 200 {
+				if ok {
+					chosen = append(chosen, s)
+					h.AddEdgeSet("", s)
+				}
+				break
+			}
+		}
+	}
+	// Cover isolated vertices with singleton-pair edges.
+	covered := NewVertexSet(n)
+	for _, s := range chosen {
+		covered = covered.UnionInPlace(s)
+	}
+	prev := -1
+	for v := 0; v < n; v++ {
+		if !covered.Has(v) {
+			anchor := covered.First()
+			if anchor < 0 {
+				if prev >= 0 {
+					h.AddEdgeSet("", SetOf(prev, v))
+				} else {
+					h.AddEdgeSet("", SetOf(v))
+				}
+				prev = v
+				continue
+			}
+			h.AddEdgeSet("", SetOf(anchor, v))
+		}
+	}
+	return h
+}
+
+// RandomBoundedDegree returns a random hypergraph with n vertices and m
+// edges in which every vertex occurs in at most d edges. Used to exercise
+// the Check(FHD,k) algorithm for bounded-degree classes (Theorem 5.2).
+func RandomBoundedDegree(rng *rand.Rand, n, m, maxArity, d int) *Hypergraph {
+	h := New()
+	for v := 0; v < n; v++ {
+		h.Vertex(fmt.Sprintf("v%d", v+1))
+	}
+	deg := make([]int, n)
+	for e := 0; e < m; e++ {
+		var avail []int
+		for v := 0; v < n; v++ {
+			if deg[v] < d {
+				avail = append(avail, v)
+			}
+		}
+		if len(avail) < 2 {
+			break
+		}
+		arity := 2 + rng.Intn(maxArity-1)
+		if arity > len(avail) {
+			arity = len(avail)
+		}
+		s := NewVertexSet(n)
+		for s.Count() < arity {
+			s.Add(avail[rng.Intn(len(avail))])
+		}
+		s.ForEach(func(v int) bool {
+			deg[v]++
+			return true
+		})
+		h.AddEdgeSet("", s)
+	}
+	// Give isolated vertices a private edge so the hypergraph is valid.
+	for v := 0; v < n; v++ {
+		if deg[v] == 0 {
+			h.AddEdgeSet("", SetOf(v))
+		}
+	}
+	return h
+}

@@ -1,0 +1,246 @@
+// Package hypergraph implements the hypergraph substrate used throughout
+// the library: hypergraphs H = (V(H), E(H)) with named vertices and edges,
+// bitset vertex sets, [C]-components, structural properties (degree, rank,
+// intersection width, multi-intersection width, acyclicity), duals, primal
+// graphs, parsing and generators.
+//
+// Terminology follows Fischl, Gottlob and Pichler, "General and Fractional
+// Hypertree Decompositions: Hard and Easy Cases" (PODS 2018), Section 2.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hypergraph is a hypergraph with named vertices and named edges. Vertices
+// and edges are addressed by dense integer indices; names are kept for
+// parsing and display. Edges are vertex sets; the same vertex universe is
+// shared by derived hypergraphs (e.g. induced subhypergraphs), which keeps
+// vertex indices stable across transformations.
+type Hypergraph struct {
+	vertexNames []string
+	vertexIndex map[string]int
+	edgeNames   []string
+	edges       []VertexSet
+}
+
+// New returns an empty hypergraph.
+func New() *Hypergraph {
+	return &Hypergraph{vertexIndex: map[string]int{}}
+}
+
+// NumVertices returns the number of registered vertices |V(H)|.
+func (h *Hypergraph) NumVertices() int { return len(h.vertexNames) }
+
+// NumEdges returns the number of edges |E(H)|.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// Vertex returns the index for the named vertex, registering it if new.
+func (h *Hypergraph) Vertex(name string) int {
+	if i, ok := h.vertexIndex[name]; ok {
+		return i
+	}
+	i := len(h.vertexNames)
+	h.vertexNames = append(h.vertexNames, name)
+	h.vertexIndex[name] = i
+	return i
+}
+
+// VertexID returns the index of a named vertex and whether it exists.
+func (h *Hypergraph) VertexID(name string) (int, bool) {
+	i, ok := h.vertexIndex[name]
+	return i, ok
+}
+
+// VertexName returns the name of vertex v.
+func (h *Hypergraph) VertexName(v int) string { return h.vertexNames[v] }
+
+// EdgeName returns the name of edge e.
+func (h *Hypergraph) EdgeName(e int) string { return h.edgeNames[e] }
+
+// Edge returns the vertex set of edge e. The returned set must not be
+// modified.
+func (h *Hypergraph) Edge(e int) VertexSet { return h.edges[e] }
+
+// AddEdge adds an edge with the given name and named vertices, registering
+// any new vertices, and returns the edge index. Empty edges are permitted
+// at this level (some constructions temporarily create them); validation
+// happens in ValidateNonEmpty.
+func (h *Hypergraph) AddEdge(name string, vertices ...string) int {
+	s := NewVertexSet(h.NumVertices())
+	for _, v := range vertices {
+		s.Add(h.Vertex(v))
+	}
+	return h.AddEdgeSet(name, s)
+}
+
+// AddEdgeSet adds an edge with the given vertex set and returns its index.
+// If name is empty a name is synthesized.
+func (h *Hypergraph) AddEdgeSet(name string, s VertexSet) int {
+	if name == "" {
+		name = fmt.Sprintf("e%d", len(h.edges)+1)
+	}
+	h.edgeNames = append(h.edgeNames, name)
+	h.edges = append(h.edges, s.Clone())
+	return len(h.edges) - 1
+}
+
+// Vertices returns the set of all vertices of H.
+func (h *Hypergraph) Vertices() VertexSet {
+	s := NewVertexSet(h.NumVertices())
+	for v := 0; v < h.NumVertices(); v++ {
+		s.Add(v)
+	}
+	return s
+}
+
+// EdgeIDs returns all edge indices.
+func (h *Hypergraph) EdgeIDs() []int {
+	ids := make([]int, h.NumEdges())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// EdgesWithVertex returns the indices of the edges containing v.
+func (h *Hypergraph) EdgesWithVertex(v int) []int {
+	var es []int
+	for e, s := range h.edges {
+		if s.Has(v) {
+			es = append(es, e)
+		}
+	}
+	return es
+}
+
+// EdgesIntersecting returns indices of the edges e with e ∩ C ≠ ∅
+// (written edges(C) in the paper).
+func (h *Hypergraph) EdgesIntersecting(c VertexSet) []int {
+	var es []int
+	for e, s := range h.edges {
+		if s.Intersects(c) {
+			es = append(es, e)
+		}
+	}
+	return es
+}
+
+// UnionOfEdges returns ⋃ S for a set S of edge indices.
+func (h *Hypergraph) UnionOfEdges(es []int) VertexSet {
+	s := NewVertexSet(h.NumVertices())
+	for _, e := range es {
+		s = s.UnionInPlace(h.edges[e])
+	}
+	return s
+}
+
+// IntersectionOfEdges returns ⋂ S for a non-empty set S of edge indices.
+func (h *Hypergraph) IntersectionOfEdges(es []int) VertexSet {
+	if len(es) == 0 {
+		return h.Vertices()
+	}
+	s := h.edges[es[0]].Clone()
+	for _, e := range es[1:] {
+		s = s.Intersect(h.edges[e])
+	}
+	return s
+}
+
+// ValidateNonEmpty returns an error if H has an empty edge or an isolated
+// vertex (the paper assumes hypergraphs have neither).
+func (h *Hypergraph) ValidateNonEmpty() error {
+	covered := NewVertexSet(h.NumVertices())
+	for e, s := range h.edges {
+		if s.IsEmpty() {
+			return fmt.Errorf("edge %s is empty", h.edgeNames[e])
+		}
+		covered = covered.UnionInPlace(s)
+	}
+	if !h.Vertices().IsSubsetOf(covered) {
+		for _, v := range h.Vertices().Diff(covered).Vertices() {
+			return fmt.Errorf("vertex %s is isolated", h.vertexNames[v])
+		}
+	}
+	return nil
+}
+
+// InducedSub returns the vertex-induced subhypergraph H[C]: the vertex
+// universe is unchanged, and each edge e of H with e ∩ C ≠ ∅ contributes
+// the edge e ∩ C. Duplicate induced edges are kept only once; each kept
+// edge remembers its smallest originator in the returned mapping
+// (induced edge index → original edge index).
+func (h *Hypergraph) InducedSub(c VertexSet) (*Hypergraph, map[int]int) {
+	sub := New()
+	sub.vertexNames = h.vertexNames
+	sub.vertexIndex = h.vertexIndex
+	orig := map[int]int{}
+	seen := map[string]bool{}
+	for e, s := range h.edges {
+		is := s.Intersect(c)
+		if is.IsEmpty() {
+			continue
+		}
+		k := is.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		id := sub.AddEdgeSet(h.edgeNames[e], is)
+		orig[id] = e
+	}
+	return sub, orig
+}
+
+// Clone returns a deep copy of H.
+func (h *Hypergraph) Clone() *Hypergraph {
+	c := New()
+	c.vertexNames = append([]string(nil), h.vertexNames...)
+	for n, i := range h.vertexIndex {
+		c.vertexIndex[n] = i
+	}
+	c.edgeNames = append([]string(nil), h.edgeNames...)
+	c.edges = make([]VertexSet, len(h.edges))
+	for i, s := range h.edges {
+		c.edges[i] = s.Clone()
+	}
+	return c
+}
+
+// String renders H in the parseable edge-list format, e.g.
+// "e1(a,b), e2(b,c)".
+func (h *Hypergraph) String() string {
+	var parts []string
+	for e, s := range h.edges {
+		var names []string
+		s.ForEach(func(v int) bool {
+			names = append(names, h.vertexNames[v])
+			return true
+		})
+		parts = append(parts, fmt.Sprintf("%s(%s)", h.edgeNames[e], strings.Join(names, ",")))
+	}
+	return strings.Join(parts, ",\n")
+}
+
+// VertexNames returns the names of the vertices in s, sorted.
+func (h *Hypergraph) VertexNames(s VertexSet) []string {
+	var names []string
+	s.ForEach(func(v int) bool {
+		names = append(names, h.vertexNames[v])
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// EdgeIDByName returns the index of the edge with the given name.
+func (h *Hypergraph) EdgeIDByName(name string) (int, bool) {
+	for e, n := range h.edgeNames {
+		if n == name {
+			return e, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,90 @@
+package hypergraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a hypergraph in the edge-list format used by the HyperBench
+// and detkdecomp tools:
+//
+//	edgename(vertex1, vertex2, ...),
+//	other(vertex2, vertex3).
+//
+// Edges are separated by commas or newlines; a trailing period is
+// permitted. Lines starting with '%' or '#' are comments. Vertex and edge
+// names may contain any characters except parentheses, commas and
+// whitespace.
+func Parse(input string) (*Hypergraph, error) {
+	h := New()
+	// Strip comments.
+	var b strings.Builder
+	for _, line := range strings.Split(input, "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "%") || strings.HasPrefix(t, "#") || strings.HasPrefix(t, "//") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	s := b.String()
+	i := 0
+	n := len(s)
+	skipWS := func() {
+		for i < n && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r' || s[i] == ',' || s[i] == '.') {
+			i++
+		}
+	}
+	readName := func() string {
+		start := i
+		for i < n && s[i] != '(' && s[i] != ')' && s[i] != ',' && s[i] != ' ' && s[i] != '\t' && s[i] != '\n' && s[i] != '\r' {
+			i++
+		}
+		return s[start:i]
+	}
+	for {
+		skipWS()
+		if i >= n {
+			break
+		}
+		name := readName()
+		if name == "" {
+			return nil, fmt.Errorf("parse error at offset %d: expected edge name", i)
+		}
+		skipWS()
+		if i >= n || s[i] != '(' {
+			return nil, fmt.Errorf("parse error at offset %d: expected '(' after edge %q", i, name)
+		}
+		i++
+		var vertices []string
+		for {
+			skipWS()
+			if i < n && s[i] == ')' {
+				i++
+				break
+			}
+			v := readName()
+			if v == "" {
+				return nil, fmt.Errorf("parse error at offset %d: expected vertex name in edge %q", i, name)
+			}
+			vertices = append(vertices, v)
+		}
+		if len(vertices) == 0 {
+			return nil, fmt.Errorf("edge %q has no vertices", name)
+		}
+		h.AddEdge(name, vertices...)
+	}
+	if h.NumEdges() == 0 {
+		return nil, fmt.Errorf("no edges found")
+	}
+	return h, nil
+}
+
+// MustParse is Parse, panicking on error. Intended for tests and fixtures.
+func MustParse(input string) *Hypergraph {
+	h, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,250 @@
+package hypergraph
+
+// Degree returns the degree of H: the maximum number of edges any single
+// vertex occurs in (paper, Section 1). The degree of an edgeless
+// hypergraph is 0.
+func (h *Hypergraph) Degree() int {
+	counts := make([]int, h.NumVertices())
+	for _, s := range h.edges {
+		s.ForEach(func(v int) bool {
+			counts[v]++
+			return true
+		})
+	}
+	d := 0
+	for _, c := range counts {
+		if c > d {
+			d = c
+		}
+	}
+	return d
+}
+
+// Rank returns the rank of H: the maximum edge cardinality.
+func (h *Hypergraph) Rank() int {
+	r := 0
+	for _, s := range h.edges {
+		if c := s.Count(); c > r {
+			r = c
+		}
+	}
+	return r
+}
+
+// IntersectionWidth returns iwidth(H), the maximum cardinality of the
+// intersection of two distinct edges (Definition 4.1). H has the i-BIP iff
+// IntersectionWidth() ≤ i.
+func (h *Hypergraph) IntersectionWidth() int {
+	return h.MultiIntersectionWidth(2)
+}
+
+// MultiIntersectionWidth returns c-miwidth(H), the maximum cardinality of
+// the intersection of c distinct edges (Definition 4.2). For c = 1 it is
+// the rank. Computed by branch-and-bound over edge subsets: extending an
+// intersection only shrinks it, so branches whose running intersection is
+// no larger than the best found are pruned.
+func (h *Hypergraph) MultiIntersectionWidth(c int) int {
+	if c <= 1 {
+		return h.Rank()
+	}
+	best := 0
+	var rec func(next, chosen int, inter VertexSet)
+	rec = func(next, chosen int, inter VertexSet) {
+		if chosen == c {
+			if n := inter.Count(); n > best {
+				best = n
+			}
+			return
+		}
+		// Even with all remaining choices the intersection cannot grow.
+		if inter.Count() <= best && chosen > 0 {
+			return
+		}
+		for e := next; e <= h.NumEdges()-(c-chosen); e++ {
+			var ni VertexSet
+			if chosen == 0 {
+				ni = h.edges[e].Clone()
+			} else {
+				ni = inter.Intersect(h.edges[e])
+			}
+			rec(e+1, chosen+1, ni)
+		}
+	}
+	rec(0, 0, nil)
+	return best
+}
+
+// PrimalGraph returns the primal (Gaifman) graph of H as a hypergraph
+// whose edges are the 2-element subsets {u,v} contained together in some
+// edge of H. Self-loops from singleton edges are omitted; singleton edges
+// contribute their vertex to the universe only.
+func (h *Hypergraph) PrimalGraph() *Hypergraph {
+	g := New()
+	g.vertexNames = append([]string(nil), h.vertexNames...)
+	g.vertexIndex = map[string]int{}
+	for n, i := range h.vertexIndex {
+		g.vertexIndex[n] = i
+	}
+	seen := map[[2]int]bool{}
+	for _, s := range h.edges {
+		vs := s.Vertices()
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				k := [2]int{vs[i], vs[j]}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				g.AddEdgeSet("", SetOf(vs[i], vs[j]))
+			}
+		}
+	}
+	return g
+}
+
+// AdjacencyMatrix returns for each vertex the set of its primal-graph
+// neighbours (excluding itself).
+func (h *Hypergraph) AdjacencyMatrix() []VertexSet {
+	adj := make([]VertexSet, h.NumVertices())
+	for v := range adj {
+		adj[v] = NewVertexSet(h.NumVertices())
+	}
+	for _, s := range h.edges {
+		vs := s.Vertices()
+		for _, u := range vs {
+			for _, v := range vs {
+				if u != v {
+					adj[u].Add(v)
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// Dual returns the dual hypergraph H^d: one vertex per edge of H and, for
+// each vertex v of H, the edge {e ∈ E(H) | v ∈ e} (Section 6.2). Duplicate
+// dual edges arising from vertices of the same edge-type are kept once, as
+// in the reduced hypergraph the paper works with.
+func (h *Hypergraph) Dual() *Hypergraph {
+	d := New()
+	for e := 0; e < h.NumEdges(); e++ {
+		d.Vertex(h.edgeNames[e])
+	}
+	seen := map[string]bool{}
+	for v := 0; v < h.NumVertices(); v++ {
+		s := NewVertexSet(h.NumEdges())
+		for e, es := range h.edges {
+			if es.Has(v) {
+				s.Add(e)
+			}
+		}
+		if s.IsEmpty() {
+			continue
+		}
+		k := s.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		d.AddEdgeSet(h.vertexNames[v], s)
+	}
+	return d
+}
+
+// Reduce returns the reduced hypergraph H⁻ (Section 5, assumptions (3) and
+// (4)): groups of vertices with identical edge-type are fused to a single
+// representative, and duplicate edges are dropped. The second return value
+// maps old vertex index → representative vertex index.
+func (h *Hypergraph) Reduce() (*Hypergraph, []int) {
+	types := map[string]int{} // edge-type key -> representative
+	rep := make([]int, h.NumVertices())
+	r := New()
+	for v := 0; v < h.NumVertices(); v++ {
+		t := NewVertexSet(h.NumEdges())
+		for e, s := range h.edges {
+			if s.Has(v) {
+				t.Add(e)
+			}
+		}
+		k := t.Key()
+		if u, ok := types[k]; ok {
+			rep[v] = u
+			continue
+		}
+		types[k] = r.Vertex(h.vertexNames[v])
+		rep[v] = types[k]
+	}
+	seenEdges := map[string]bool{}
+	for e, s := range h.edges {
+		t := NewVertexSet(r.NumVertices())
+		s.ForEach(func(v int) bool {
+			t.Add(rep[v])
+			return true
+		})
+		k := t.Key()
+		if seenEdges[k] {
+			continue
+		}
+		seenEdges[k] = true
+		r.AddEdgeSet(h.edgeNames[e], t)
+	}
+	return r, rep
+}
+
+// IsAcyclic reports whether H is α-acyclic, decided by the GYO reduction:
+// repeatedly remove vertices occurring in at most one edge and edges
+// contained in other edges; H is acyclic iff everything vanishes.
+func (h *Hypergraph) IsAcyclic() bool {
+	edges := make([]VertexSet, 0, len(h.edges))
+	for _, s := range h.edges {
+		if !s.IsEmpty() {
+			edges = append(edges, s.Clone())
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		// Remove isolated vertices (in ≤ 1 edge).
+		counts := map[int]int{}
+		for _, s := range edges {
+			s.ForEach(func(v int) bool {
+				counts[v]++
+				return true
+			})
+		}
+		for i, s := range edges {
+			t := s.Clone()
+			s.ForEach(func(v int) bool {
+				if counts[v] <= 1 {
+					t = t.Without(v)
+					changed = true
+				}
+				return true
+			})
+			edges[i] = t
+		}
+		// Remove edges contained in another edge (and empty edges).
+		var kept []VertexSet
+		for i, s := range edges {
+			dominated := s.IsEmpty()
+			if !dominated {
+				for j, t := range edges {
+					if i == j {
+						continue
+					}
+					if s.IsSubsetOf(t) && (!t.IsSubsetOf(s) || j < i) {
+						dominated = true
+						break
+					}
+				}
+			}
+			if dominated {
+				changed = true
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		edges = kept
+	}
+	return len(edges) == 0
+}

@@ -1,0 +1,85 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup and mutated
+// valid inputs: it must return an error or a hypergraph, never panic,
+// and any returned hypergraph must round-trip.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("abcdef123(),. \n\t%#_-")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		h, err := Parse(string(b))
+		if err != nil {
+			continue
+		}
+		if h.NumEdges() == 0 {
+			t.Fatalf("accepted %q with no edges", b)
+		}
+		if _, err := Parse(h.String()); err != nil {
+			t.Fatalf("round trip of accepted input %q failed: %v", b, err)
+		}
+	}
+	// Mutations of a valid input.
+	valid := "e1(a,b,c), e2(c,d), e3(d,a)"
+	for trial := 0; trial < 300; trial++ {
+		b := []byte(valid)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b[rng.Intn(len(b))] = alphabet[rng.Intn(len(alphabet))]
+		}
+		Parse(string(b)) // must not panic
+	}
+}
+
+// TestUnicodeNames — vertex and edge names with multibyte characters
+// survive parsing and printing.
+func TestUnicodeNames(t *testing.T) {
+	h, err := Parse("ε1(α,β), ε2(β,γ)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 3 {
+		t.Fatalf("got %d vertices", h.NumVertices())
+	}
+	if !strings.Contains(h.String(), "ε1") {
+		t.Fatal("edge name lost")
+	}
+}
+
+// TestLargeVertexIndices — bitsets across many words behave.
+func TestLargeVertexIndices(t *testing.T) {
+	h := New()
+	var names []string
+	for i := 0; i < 300; i++ {
+		names = append(names, "v"+strings.Repeat("x", i%7)+string(rune('a'+i%26)))
+	}
+	// Build a long path over 300 distinct-ish names; duplicates collapse.
+	prev := h.Vertex("start")
+	for i, n := range names {
+		v := h.Vertex(n + string(rune('0'+i%10)))
+		s := NewVertexSet(h.NumVertices())
+		s.Add(prev)
+		s.Add(v)
+		h.AddEdgeSet("", s)
+		prev = v
+	}
+	if !h.IsConnected() {
+		t.Fatal("long path disconnected")
+	}
+	if !h.IsAcyclic() {
+		t.Fatal("path must be acyclic")
+	}
+	comps := h.ComponentsOf(SetOf(h.NumVertices()/2), nil)
+	if len(comps) != 2 {
+		t.Fatalf("removing a middle vertex must split the path, got %d components", len(comps))
+	}
+}

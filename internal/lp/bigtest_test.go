@@ -1,0 +1,81 @@
+package lp
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestExactnessUnderScaling — the solver's raison d'être: thresholds
+// that floating point cannot decide. The LP min x s.t. 3x ≥ 1 has
+// optimum exactly 1/3; comparing against 1/3 must be exact, and summing
+// many such optima must not drift.
+func TestExactnessUnderScaling(t *testing.T) {
+	total := new(big.Rat)
+	for i := 1; i <= 50; i++ {
+		p := NewProblem(1)
+		p.SetObjective(0, RI(1))
+		p.AddConstraint([]*big.Rat{RI(int64(i))}, GE, RI(1))
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			t.Fatal(err)
+		}
+		if s.Value.Cmp(R(1, int64(i))) != 0 {
+			t.Fatalf("optimum %v, want 1/%d", s.Value, i)
+		}
+		total.Add(total, s.Value)
+	}
+	// Σ 1/i for i=1..50 is the 50th harmonic number — verify one digit
+	// of its exact value to confirm no drift: H_50 = 13943237577224054960759/3099044504245996706400.
+	num, _ := new(big.Int).SetString("13943237577224054960759", 10)
+	den, _ := new(big.Int).SetString("3099044504245996706400", 10)
+	want := new(big.Rat).SetFrac(num, den)
+	if total.Cmp(want) != 0 {
+		t.Fatalf("harmonic sum drifted: %v", total)
+	}
+}
+
+// TestManyVariables — a covering LP with 60 variables and 40 constraints
+// solves in reasonable time with exact arithmetic (the reduction lemmas
+// run LPs of this size).
+func TestManyVariables(t *testing.T) {
+	nv, nc := 60, 40
+	p := NewProblem(nv)
+	for j := 0; j < nv; j++ {
+		p.SetObjective(j, RI(1))
+	}
+	for i := 0; i < nc; i++ {
+		coef := make([]*big.Rat, nv)
+		for j := 0; j < nv; j++ {
+			if (i+j)%3 == 0 {
+				coef[j] = RI(1)
+			}
+		}
+		coef[i%nv] = RI(1)
+		p.AddConstraint(coef, GE, RI(1))
+	}
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status %v err %v", s.Status, err)
+	}
+	if s.Value.Sign() <= 0 {
+		t.Fatal("optimum must be positive")
+	}
+}
+
+// TestRedundantConstraints — equality rows that are linear combinations
+// of others must not break phase 1's artificial-variable cleanup.
+func TestRedundantConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, RI(1))
+	p.SetObjective(1, RI(1))
+	p.AddConstraint([]*big.Rat{RI(1), RI(1)}, EQ, RI(2))
+	p.AddConstraint([]*big.Rat{RI(2), RI(2)}, EQ, RI(4)) // redundant
+	p.AddConstraint([]*big.Rat{RI(1), nil}, GE, RI(1))
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("status %v err %v", s.Status, err)
+	}
+	if s.Value.Cmp(RI(2)) != 0 {
+		t.Fatalf("optimum %v, want 2", s.Value)
+	}
+}

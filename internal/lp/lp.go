@@ -1,0 +1,341 @@
+// Package lp implements an exact linear-program solver over rational
+// numbers (math/big.Rat) using the two-phase simplex method with Bland's
+// anti-cycling pivot rule.
+//
+// The paper's algorithms repeatedly decide questions of the form
+// "does this vertex set have a fractional edge cover of weight ≤ k?"
+// (Section 2.2). Floating-point LP cannot decide such threshold questions
+// reliably — fhw(H) ≤ 2 versus fhw(H) > 2 is exactly the NP-hard boundary
+// of Theorem 3.2 — so this solver substitutes exact rational arithmetic
+// for the external LP solver a production system would wrap. Simplex with
+// Bland's rule always terminates; it is not worst-case polynomial, but the
+// covering LPs used here are small and benign.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+// Status reports the outcome of solving a problem.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Constraint is a linear constraint Σ Coef[j]·x_j (Rel) RHS over the
+// problem's variables. Coef may be shorter than the number of variables;
+// missing coefficients are zero.
+type Constraint struct {
+	Coef []*big.Rat
+	Rel  Rel
+	RHS  *big.Rat
+}
+
+// Problem is a linear program over n non-negative variables:
+// optimize Objective·x subject to the constraints and x ≥ 0.
+type Problem struct {
+	NumVars     int
+	Objective   []*big.Rat
+	Minimize    bool
+	Constraints []Constraint
+}
+
+// Solution is the result of solving a problem.
+type Solution struct {
+	Status Status
+	Value  *big.Rat   // objective value; nil unless Optimal
+	X      []*big.Rat // variable assignment; nil unless Optimal
+}
+
+// NewProblem returns a minimization problem with n variables and zero
+// objective.
+func NewProblem(n int) *Problem {
+	obj := make([]*big.Rat, n)
+	for i := range obj {
+		obj[i] = new(big.Rat)
+	}
+	return &Problem{NumVars: n, Objective: obj, Minimize: true}
+}
+
+// SetObjective sets the coefficient of variable j.
+func (p *Problem) SetObjective(j int, c *big.Rat) {
+	p.Objective[j] = new(big.Rat).Set(c)
+}
+
+// AddConstraint appends a constraint. The coefficient slice is copied.
+func (p *Problem) AddConstraint(coef []*big.Rat, rel Rel, rhs *big.Rat) {
+	cc := make([]*big.Rat, len(coef))
+	for i, c := range coef {
+		if c == nil {
+			cc[i] = new(big.Rat)
+		} else {
+			cc[i] = new(big.Rat).Set(c)
+		}
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coef: cc, Rel: rel, RHS: new(big.Rat).Set(rhs)})
+}
+
+var errNoPivot = errors.New("lp: internal error: no pivot found")
+
+// tableau is a dense simplex tableau with an explicit basis.
+type tableau struct {
+	rows  [][]*big.Rat // m rows × (n+1) columns; last column is RHS
+	cost  []*big.Rat   // n+1 entries; reduced costs and (negated) objective
+	basis []int        // basis[i] = column basic in row i
+	n     int          // number of structural+slack+artificial columns
+}
+
+func ratsZero(n int) []*big.Rat {
+	r := make([]*big.Rat, n)
+	for i := range r {
+		r[i] = new(big.Rat)
+	}
+	return r
+}
+
+// pivot performs a pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	inv := new(big.Rat).Inv(pr[col])
+	for j := 0; j <= t.n; j++ {
+		pr[j].Mul(pr[j], inv)
+	}
+	for i := range t.rows {
+		if i == row {
+			continue
+		}
+		f := new(big.Rat).Set(t.rows[i][col])
+		if f.Sign() == 0 {
+			continue
+		}
+		for j := 0; j <= t.n; j++ {
+			var d big.Rat
+			d.Mul(f, pr[j])
+			t.rows[i][j].Sub(t.rows[i][j], &d)
+		}
+	}
+	f := new(big.Rat).Set(t.cost[col])
+	if f.Sign() != 0 {
+		for j := 0; j <= t.n; j++ {
+			var d big.Rat
+			d.Mul(f, pr[j])
+			t.cost[j].Sub(t.cost[j], &d)
+		}
+	}
+	t.basis[row] = col
+}
+
+// simplex runs the simplex loop with Bland's rule until optimality or
+// unboundedness. allowed limits the eligible entering columns.
+func (t *tableau) simplex(allowed int) (Status, error) {
+	for {
+		// Entering column: smallest index with negative reduced cost.
+		col := -1
+		for j := 0; j < allowed; j++ {
+			if t.cost[j].Sign() < 0 {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return Optimal, nil
+		}
+		// Leaving row: minimum ratio, ties by smallest basis index
+		// (Bland).
+		row := -1
+		var best big.Rat
+		for i := range t.rows {
+			a := t.rows[i][col]
+			if a.Sign() <= 0 {
+				continue
+			}
+			var ratio big.Rat
+			ratio.Quo(t.rows[i][t.n], a)
+			if row < 0 || ratio.Cmp(&best) < 0 ||
+				(ratio.Cmp(&best) == 0 && t.basis[i] < t.basis[row]) {
+				row = i
+				best.Set(&ratio)
+			}
+		}
+		if row < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(row, col)
+	}
+}
+
+// Solve solves the problem exactly. It never mutates p.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.Constraints)
+	// Column layout: structural vars | slack/surplus | artificial.
+	nStruct := p.NumVars
+	nSlack := 0
+	for _, c := range p.Constraints {
+		if c.Rel != EQ {
+			nSlack++
+		}
+	}
+	// Every row gets an artificial variable; phase 1 drives them out.
+	n := nStruct + nSlack + m
+	t := &tableau{n: n, basis: make([]int, m)}
+	t.rows = make([][]*big.Rat, m)
+	slack := nStruct
+	for i, c := range p.Constraints {
+		row := ratsZero(n + 1)
+		rhs := new(big.Rat).Set(c.RHS)
+		sign := 1
+		if rhs.Sign() < 0 {
+			sign = -1
+			rhs.Neg(rhs)
+		}
+		for j := 0; j < nStruct && j < len(c.Coef); j++ {
+			if c.Coef[j] == nil {
+				continue
+			}
+			v := new(big.Rat).Set(c.Coef[j])
+			if sign < 0 {
+				v.Neg(v)
+			}
+			row[j] = v
+		}
+		rel := c.Rel
+		if sign < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			row[slack].SetInt64(1)
+			slack++
+		case GE:
+			row[slack].SetInt64(-1)
+			slack++
+		}
+		art := nStruct + nSlack + i
+		row[art].SetInt64(1)
+		row[n] = rhs
+		t.rows[i] = row
+		t.basis[i] = art
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	t.cost = ratsZero(n + 1)
+	for j := nStruct + nSlack; j < n; j++ {
+		t.cost[j].SetInt64(1)
+	}
+	// Price out the basic artificials.
+	for i := range t.rows {
+		for j := 0; j <= t.n; j++ {
+			t.cost[j].Sub(t.cost[j], t.rows[i][j])
+		}
+	}
+	st, err := t.simplex(n)
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		return nil, errors.New("lp: phase 1 unbounded (internal error)")
+	}
+	if t.cost[n].Sign() != 0 { // phase-1 optimum = -Σ artificials ≠ 0
+		return &Solution{Status: Infeasible}, nil
+	}
+	// Drive any artificial variables remaining in the basis out.
+	for i := range t.rows {
+		if t.basis[i] < nStruct+nSlack {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < nStruct+nSlack; j++ {
+			if t.rows[i][j].Sign() != 0 {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; harmless. The artificial stays basic at 0.
+			continue
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns only.
+	t.cost = ratsZero(n + 1)
+	for j := 0; j < nStruct && j < len(p.Objective); j++ {
+		if p.Objective[j] == nil {
+			continue
+		}
+		v := new(big.Rat).Set(p.Objective[j])
+		if !p.Minimize {
+			v.Neg(v)
+		}
+		t.cost[j] = v
+	}
+	for i, b := range t.basis {
+		if t.cost[b].Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(t.cost[b])
+		for j := 0; j <= t.n; j++ {
+			var d big.Rat
+			d.Mul(f, t.rows[i][j])
+			t.cost[j].Sub(t.cost[j], &d)
+		}
+	}
+	st, err = t.simplex(nStruct + nSlack)
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := ratsZero(p.NumVars)
+	for i, b := range t.basis {
+		if b < p.NumVars {
+			x[b].Set(t.rows[i][t.n])
+		}
+	}
+	val := new(big.Rat).Neg(t.cost[n])
+	if !p.Minimize {
+		val.Neg(val)
+	}
+	return &Solution{Status: Optimal, Value: val, X: x}, nil
+}
+
+// R returns a rational a/b; R(x) with b omitted is not supported — use
+// RI for integers.
+func R(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+// RI returns the rational for the integer a.
+func RI(a int64) *big.Rat { return new(big.Rat).SetInt64(a) }

@@ -1,0 +1,226 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleMin(t *testing.T) {
+	// min x+y s.t. x+y ≥ 1, x ≥ 0, y ≥ 0 → 1.
+	p := NewProblem(2)
+	p.SetObjective(0, RI(1))
+	p.SetObjective(1, RI(1))
+	p.AddConstraint([]*big.Rat{RI(1), RI(1)}, GE, RI(1))
+	s := solve(t, p)
+	if s.Status != Optimal || s.Value.Cmp(RI(1)) != 0 {
+		t.Fatalf("got %v value %v", s.Status, s.Value)
+	}
+}
+
+func TestFractionalOptimum(t *testing.T) {
+	// Fractional edge cover of the triangle: three vertices, three edges,
+	// each edge covers two vertices; optimum 3/2 at x = (1/2,1/2,1/2).
+	p := NewProblem(3)
+	for j := 0; j < 3; j++ {
+		p.SetObjective(j, RI(1))
+	}
+	// vertex a covered by e1={a,b}, e3={c,a} etc.
+	p.AddConstraint([]*big.Rat{RI(1), nil, RI(1)}, GE, RI(1))
+	p.AddConstraint([]*big.Rat{RI(1), RI(1), nil}, GE, RI(1))
+	p.AddConstraint([]*big.Rat{nil, RI(1), RI(1)}, GE, RI(1))
+	s := solve(t, p)
+	if s.Value.Cmp(R(3, 2)) != 0 {
+		t.Fatalf("triangle ρ* = %v, want 3/2", s.Value)
+	}
+}
+
+func TestMaximize(t *testing.T) {
+	// max 3x+2y s.t. x+y ≤ 4, x ≤ 2 → 3·2+2·2 = 10.
+	p := NewProblem(2)
+	p.Minimize = false
+	p.SetObjective(0, RI(3))
+	p.SetObjective(1, RI(2))
+	p.AddConstraint([]*big.Rat{RI(1), RI(1)}, LE, RI(4))
+	p.AddConstraint([]*big.Rat{RI(1)}, LE, RI(2))
+	s := solve(t, p)
+	if s.Value.Cmp(RI(10)) != 0 {
+		t.Fatalf("got %v, want 10", s.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, RI(1))
+	p.AddConstraint([]*big.Rat{RI(1)}, LE, RI(1))
+	p.AddConstraint([]*big.Rat{RI(1)}, GE, RI(2))
+	if s := solve(t, p); s.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Minimize = false
+	p.SetObjective(0, RI(1))
+	p.AddConstraint([]*big.Rat{RI(1)}, GE, RI(0))
+	if s := solve(t, p); s.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", s.Status)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x+2y s.t. x+y = 3, y ≥ 1 → x=2, y=1, value 4.
+	p := NewProblem(2)
+	p.SetObjective(0, RI(1))
+	p.SetObjective(1, RI(2))
+	p.AddConstraint([]*big.Rat{RI(1), RI(1)}, EQ, RI(3))
+	p.AddConstraint([]*big.Rat{nil, RI(1)}, GE, RI(1))
+	s := solve(t, p)
+	if s.Value.Cmp(RI(4)) != 0 {
+		t.Fatalf("got %v, want 4", s.Value)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x ≤ -2  (i.e. x ≥ 2).
+	p := NewProblem(1)
+	p.SetObjective(0, RI(1))
+	p.AddConstraint([]*big.Rat{RI(-1)}, LE, RI(-2))
+	s := solve(t, p)
+	if s.Value.Cmp(RI(2)) != 0 {
+		t.Fatalf("got %v, want 2", s.Value)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// A classic degenerate instance; Bland's rule must terminate.
+	p := NewProblem(4)
+	p.Minimize = false
+	for j, c := range []int64{10, -57, -9, -24} {
+		p.SetObjective(j, RI(c))
+	}
+	p.AddConstraint([]*big.Rat{R(1, 2), R(-11, 2), R(-5, 2), RI(9)}, LE, RI(0))
+	p.AddConstraint([]*big.Rat{R(1, 2), R(-3, 2), R(-1, 2), RI(1)}, LE, RI(0))
+	p.AddConstraint([]*big.Rat{RI(1), nil, nil, nil}, LE, RI(1))
+	s := solve(t, p)
+	if s.Status != Optimal || s.Value.Cmp(RI(1)) != 0 {
+		t.Fatalf("got %v value %v, want optimal 1", s.Status, s.Value)
+	}
+}
+
+// TestQuickCoverLPBounds: for random covering LPs (fractional edge
+// covers), the optimum is between max-constraint lower bounds and the
+// number of constraints (taking one unit per constraint is feasible when
+// every row has a positive coefficient).
+func TestQuickCoverLPBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(4)
+		nc := 2 + rng.Intn(4)
+		p := NewProblem(nv)
+		for j := 0; j < nv; j++ {
+			p.SetObjective(j, RI(1))
+		}
+		for i := 0; i < nc; i++ {
+			coef := make([]*big.Rat, nv)
+			coef[rng.Intn(nv)] = RI(1) // ensure feasibility
+			for j := 0; j < nv; j++ {
+				if rng.Intn(2) == 0 {
+					coef[j] = RI(1)
+				}
+			}
+			p.AddConstraint(coef, GE, RI(1))
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		if s.Value.Sign() < 0 || s.Value.Cmp(RI(int64(nc))) > 0 {
+			return false
+		}
+		// Verify the assignment satisfies all constraints exactly.
+		for _, c := range p.Constraints {
+			sum := new(big.Rat)
+			for j, co := range c.Coef {
+				if co != nil {
+					var d big.Rat
+					sum.Add(sum, d.Mul(co, s.X[j]))
+				}
+			}
+			if sum.Cmp(c.RHS) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLPDuality: weak duality on random primal/dual covering pairs.
+// min 1·x, Ax ≥ 1, x ≥ 0 has the same optimum as max 1·y, Aᵀy ≤ 1, y ≥ 0.
+func TestQuickLPDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(4)
+		cols := 2 + rng.Intn(4)
+		a := make([][]bool, rows)
+		for i := range a {
+			a[i] = make([]bool, cols)
+			a[i][rng.Intn(cols)] = true
+			for j := range a[i] {
+				if rng.Intn(2) == 0 {
+					a[i][j] = true
+				}
+			}
+		}
+		primal := NewProblem(cols)
+		for j := 0; j < cols; j++ {
+			primal.SetObjective(j, RI(1))
+		}
+		for i := 0; i < rows; i++ {
+			coef := make([]*big.Rat, cols)
+			for j := 0; j < cols; j++ {
+				if a[i][j] {
+					coef[j] = RI(1)
+				}
+			}
+			primal.AddConstraint(coef, GE, RI(1))
+		}
+		dual := NewProblem(rows)
+		dual.Minimize = false
+		for i := 0; i < rows; i++ {
+			dual.SetObjective(i, RI(1))
+		}
+		for j := 0; j < cols; j++ {
+			coef := make([]*big.Rat, rows)
+			for i := 0; i < rows; i++ {
+				if a[i][j] {
+					coef[i] = RI(1)
+				}
+			}
+			dual.AddConstraint(coef, LE, RI(1))
+		}
+		ps, err1 := primal.Solve()
+		ds, err2 := dual.Solve()
+		if err1 != nil || err2 != nil || ps.Status != Optimal || ds.Status != Optimal {
+			return false
+		}
+		return ps.Value.Cmp(ds.Value) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

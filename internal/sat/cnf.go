@@ -1,0 +1,179 @@
+// Package sat implements the 3SAT substrate of the paper's NP-hardness
+// proof (Section 3): CNF formulas, a DIMACS parser, an exhaustive solver
+// for small instances, the Theorem 3.2 reduction from 3SAT to
+// Check(GHD/FHD, 2), the width-2 witness GHD of Table 1 for satisfiable
+// formulas, the k+ℓ width-lift construction, and exact-LP verifiers for
+// the structural lemmas (3.5, 3.6) that drive the "only if" direction.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Lit is a literal: +v for variable v (1-based), -v for its negation.
+type Lit int
+
+// Var returns the 1-based variable index of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is positive.
+func (l Lit) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of exactly three literals (duplicates allowed,
+// as is standard when padding shorter clauses).
+type Clause [3]Lit
+
+// CNF is a 3SAT formula with variables 1..NumVars.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewCNF builds a formula, inferring NumVars from the clauses.
+func NewCNF(clauses ...Clause) *CNF {
+	c := &CNF{Clauses: clauses}
+	for _, cl := range clauses {
+		for _, l := range cl {
+			if l.Var() > c.NumVars {
+				c.NumVars = l.Var()
+			}
+		}
+	}
+	return c
+}
+
+// Satisfies reports whether the assignment (1-based; index 0 unused)
+// makes every clause true.
+func (c *CNF) Satisfies(assign []bool) bool {
+	for _, cl := range c.Clauses {
+		ok := false
+		for _, l := range cl {
+			if assign[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve finds a satisfying assignment by exhaustive search, or returns
+// nil. Exponential in NumVars; intended for the small formulas the
+// reduction experiments use (the reduction hypergraph itself grows as
+// Θ(n·m) vertices, so n stays small anyway).
+func (c *CNF) Solve() []bool {
+	if c.NumVars > 26 {
+		panic("sat: exhaustive solver limited to 26 variables")
+	}
+	assign := make([]bool, c.NumVars+1)
+	for mask := 0; mask < 1<<uint(c.NumVars); mask++ {
+		for v := 1; v <= c.NumVars; v++ {
+			assign[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if c.Satisfies(assign) {
+			return assign
+		}
+	}
+	return nil
+}
+
+// String renders the formula in a human-readable form.
+func (c *CNF) String() string {
+	var parts []string
+	for _, cl := range c.Clauses {
+		var ls []string
+		for _, l := range cl {
+			if l.Positive() {
+				ls = append(ls, fmt.Sprintf("x%d", l.Var()))
+			} else {
+				ls = append(ls, fmt.Sprintf("¬x%d", l.Var()))
+			}
+		}
+		parts = append(parts, "("+strings.Join(ls, "∨")+")")
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// ParseDIMACS parses a CNF in DIMACS format. Clauses with fewer than
+// three literals are padded by repeating the last literal; clauses with
+// more than three are rejected (the reduction is defined for 3SAT).
+func ParseDIMACS(input string) (*CNF, error) {
+	c := &CNF{}
+	for _, line := range strings.Split(input, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "c") {
+			continue
+		}
+		if strings.HasPrefix(t, "p") {
+			fields := strings.Fields(t)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: bad problem line %q", t)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			c.NumVars = n
+			continue
+		}
+		var lits []Lit
+		for _, f := range strings.Fields(t) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", f)
+			}
+			if v == 0 {
+				break
+			}
+			lits = append(lits, Lit(v))
+			if l := Lit(v); l.Var() > c.NumVars {
+				c.NumVars = l.Var()
+			}
+		}
+		if len(lits) == 0 {
+			continue
+		}
+		if len(lits) > 3 {
+			return nil, fmt.Errorf("sat: clause with %d literals; only 3SAT supported", len(lits))
+		}
+		for len(lits) < 3 {
+			lits = append(lits, lits[len(lits)-1])
+		}
+		c.Clauses = append(c.Clauses, Clause{lits[0], lits[1], lits[2]})
+	}
+	if len(c.Clauses) == 0 {
+		return nil, fmt.Errorf("sat: no clauses")
+	}
+	return c, nil
+}
+
+// Random3SAT returns a uniformly random 3SAT formula with n variables
+// and m clauses (no tautological pairs within a clause is not enforced;
+// the reduction handles any 3SAT form).
+func Random3SAT(rng *rand.Rand, n, m int) *CNF {
+	c := &CNF{NumVars: n}
+	for i := 0; i < m; i++ {
+		var cl Clause
+		for j := 0; j < 3; j++ {
+			v := 1 + rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				cl[j] = Lit(v)
+			} else {
+				cl[j] = Lit(-v)
+			}
+		}
+		c.Clauses = append(c.Clauses, cl)
+	}
+	return c
+}

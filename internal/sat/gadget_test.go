@@ -1,0 +1,103 @@
+package sat_test
+
+import (
+	"testing"
+
+	"hypertree/internal/core"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+	"hypertree/internal/sat"
+)
+
+func TestGadgetWidths(t *testing.T) {
+	// Lemma 3.1 gadget standalone: fhw = ghw = 2 for small M1, M2.
+	for _, msz := range [][2]int{{0, 0}, {1, 1}, {2, 2}} {
+		h, _ := sat.StandaloneGadget(msz[0], msz[1])
+		fhw, fd := core.ExactFHW(h)
+		if fhw.Cmp(lp.RI(2)) != 0 {
+			t.Fatalf("M sizes %v: fhw(gadget) = %v, want 2", msz, fhw)
+		}
+		if err := fd.Validate(decomp.FHD); err != nil {
+			t.Fatal(err)
+		}
+		ghw, _ := core.ExactGHW(h)
+		if ghw != 2 {
+			t.Fatalf("M sizes %v: ghw(gadget) = %d, want 2", msz, ghw)
+		}
+	}
+}
+
+func TestGadgetForcedBags(t *testing.T) {
+	// Lemma 3.1: every width-2 FHD has nodes uA, uB, uC with
+	// {a1,a2,b1,b2} ⊆ B_uA ⊆ M ∪ {a1,a2,b1,b2}, B_uB = {b1,b2,c1,c2} ∪ M,
+	// {c1,c2,d1,d2} ⊆ B_uC ⊆ M ∪ {c1,c2,d1,d2}, and uB between uA and uC.
+	// Verified on the FHD the exact algorithm produces.
+	h, g := sat.StandaloneGadget(2, 2)
+	_, fd := core.ExactFHW(h)
+	if fd == nil {
+		t.Fatal("no FHD")
+	}
+	m := hypergraph.NewVertexSet(h.NumVertices())
+	for _, n := range []string{"m1_1", "m1_2", "m2_1", "m2_2"} {
+		v, _ := h.VertexID(n)
+		m.Add(v)
+	}
+	quad := func(a, b, c, d int) hypergraph.VertexSet { return hypergraph.SetOf(a, b, c, d) }
+	cliqueA := quad(g.A1, g.A2, g.B1, g.B2)
+	cliqueB := quad(g.B1, g.B2, g.C1, g.C2)
+	cliqueC := quad(g.C1, g.C2, g.D1, g.D2)
+	find := func(clique, hull hypergraph.VertexSet) int {
+		for u := range fd.Nodes {
+			if clique.IsSubsetOf(fd.Nodes[u].Bag) && fd.Nodes[u].Bag.IsSubsetOf(hull) {
+				return u
+			}
+		}
+		return -1
+	}
+	uA := find(cliqueA, cliqueA.Union(m))
+	uB := find(cliqueB, cliqueB.Union(m))
+	uC := find(cliqueC, cliqueC.Union(m))
+	if uA < 0 || uB < 0 || uC < 0 {
+		t.Fatalf("forced nodes missing: uA=%d uB=%d uC=%d\n%s", uA, uB, uC, fd)
+	}
+	// B_uB must be exactly {b1,b2,c1,c2} ∪ M.
+	if !fd.Nodes[uB].Bag.Equal(cliqueB.Union(m)) {
+		t.Fatalf("B_uB = %v, want {b1,b2,c1,c2} ∪ M", h.VertexNames(fd.Nodes[uB].Bag))
+	}
+	// uB on the path from uA to uC.
+	onPath := false
+	for _, n := range fd.PathBetween(uA, uC) {
+		if n == uB {
+			onPath = true
+		}
+	}
+	if !onPath {
+		t.Fatal("uB not on the path between uA and uC")
+	}
+}
+
+func TestWidthLift(t *testing.T) {
+	// Section 3 closing construction: fhw(lift_ℓ(H)) = fhw(H) + ℓ and
+	// ghw(lift_ℓ(H)) = ghw(H) + ℓ.
+	base := hypergraph.Clique(3) // fhw 3/2, ghw 2
+	for ell := 1; ell <= 2; ell++ {
+		lifted := sat.WidthLift(base, ell)
+		fhw, _ := core.ExactFHW(lifted)
+		want := lp.R(3, 2)
+		want.Add(want, lp.RI(int64(ell)))
+		if fhw.Cmp(want) != 0 {
+			t.Fatalf("ℓ=%d: fhw = %v, want %v", ell, fhw, want)
+		}
+		ghw, _ := core.ExactGHW(lifted)
+		if ghw != 2+ell {
+			t.Fatalf("ℓ=%d: ghw = %d, want %d", ell, ghw, 2+ell)
+		}
+	}
+	// Lift of a path: fhw 1 → 2.
+	lifted := sat.WidthLift(hypergraph.Path(4), 1)
+	fhw, _ := core.ExactFHW(lifted)
+	if fhw.Cmp(lp.RI(2)) != 0 {
+		t.Fatalf("lifted path fhw = %v, want 2", fhw)
+	}
+}

@@ -1,0 +1,159 @@
+package sat
+
+import (
+	"fmt"
+	"math/big"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// This file verifies, by exact LP, the structural facts about the
+// reduction hypergraph that the "only if" direction of Theorem 3.2 rests
+// on. Deciding fhw(H) > 2 outright for a "no" instance is exactly the
+// NP-hard problem being reduced to (and H is far beyond the exact DP),
+// so the reproduction validates the proof's load-bearing inequalities
+// instead; each function returns nil iff the corresponding fact holds.
+
+// VerifyCoreLP checks that ρ*(S ∪ {z1,z2}) = 2 in the reduction
+// hypergraph: weight 1 is needed on the z1-side (E0) and the z2-side
+// (E1) each, and together they can just cover S.
+func (r *Reduction) VerifyCoreLP() error {
+	target := r.S.Union(hypergraph.SetOf(r.Z1, r.Z2))
+	w, _ := cover.FractionalEdgeCover(r.H, target)
+	if w == nil {
+		return fmt.Errorf("sat: S ∪ {z1,z2} uncoverable")
+	}
+	if w.Cmp(lp.RI(2)) != 0 {
+		return fmt.Errorf("sat: ρ*(S ∪ {z1,z2}) = %v, want 2", w)
+	}
+	return nil
+}
+
+// VerifyBlockingSets checks the inequalities behind Claim D (Case 3),
+// Claim E and Claim F: the sets S ∪ {z1,z2} extended by {a1, a'1}, by
+// {a1, a'_min}, or by {a_min, a'1} have no fractional cover of weight
+// ≤ 2 (Lemma 3.5: weight must go to complementary edge pairs, which
+// cannot also reach the extra vertices).
+func (r *Reduction) VerifyBlockingSets() error {
+	base := r.S.Union(hypergraph.SetOf(r.Z1, r.Z2))
+	two := lp.RI(2)
+	cases := []struct {
+		name  string
+		extra hypergraph.VertexSet
+	}{
+		{"S∪{z1,z2,a1,a'1}", hypergraph.SetOf(r.Gadget.A1, r.GadgetP.A1)},
+		{"S∪{z1,z2,a1,a'min}", hypergraph.SetOf(r.Gadget.A1, r.apIdx[r.Min()])},
+		{"S∪{z1,z2,amin,a'1}", hypergraph.SetOf(r.aIndex[r.Min()], r.GadgetP.A1)},
+	}
+	for _, c := range cases {
+		w, _ := cover.FractionalEdgeCover(r.H, base.Union(c.extra))
+		if w == nil {
+			return fmt.Errorf("sat: %s uncoverable", c.name)
+		}
+		if w.Cmp(two) <= 0 {
+			return fmt.Errorf("sat: ρ*(%s) = %v, want > 2", c.name, w)
+		}
+	}
+	return nil
+}
+
+// VerifyComplementaryWeights checks Lemma 3.5 on an optimal cover: solve
+// the covering LP for S ∪ {z1,z2} at weight exactly 2 with the added
+// Lemma 3.5 consequence that complementary edges must carry equal
+// weight. The check is: for every complementary pair (e, e'), forcing
+// γ(e) − γ(e') = δ for any δ ≠ 0 while keeping weight ≤ 2 is infeasible.
+// Verifying one direction suffices by symmetry; we test a sample pair.
+func (r *Reduction) VerifyComplementaryWeights(p Pos, k int, delta *big.Rat) error {
+	e0 := r.EK0[[3]int{p.I, p.J, k}]
+	e1 := r.EK1[[3]int{p.I, p.J, k}]
+	target := r.S.Union(hypergraph.SetOf(r.Z1, r.Z2))
+	edges := r.H.EdgesIntersecting(target)
+	prob := lp.NewProblem(len(edges))
+	col := map[int]int{}
+	for j, e := range edges {
+		col[e] = j
+		prob.SetObjective(j, lp.RI(1))
+	}
+	ok := true
+	target.ForEach(func(v int) bool {
+		coef := make([]*big.Rat, len(edges))
+		any := false
+		for j, e := range edges {
+			if r.H.Edge(e).Has(v) {
+				coef[j] = lp.RI(1)
+				any = true
+			}
+		}
+		if !any {
+			ok = false
+			return false
+		}
+		prob.AddConstraint(coef, lp.GE, lp.RI(1))
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("sat: target uncoverable")
+	}
+	// γ(e0) − γ(e1) = δ.
+	coef := make([]*big.Rat, len(edges))
+	coef[col[e0]] = lp.RI(1)
+	coef[col[e1]] = lp.RI(-1)
+	prob.AddConstraint(coef, lp.EQ, delta)
+	sol, err := prob.Solve()
+	if err != nil {
+		return err
+	}
+	if sol.Status == lp.Optimal && sol.Value.Cmp(lp.RI(2)) <= 0 {
+		if delta.Sign() != 0 {
+			return fmt.Errorf("sat: unequal complementary weights admit cover of weight %v ≤ 2", sol.Value)
+		}
+		return nil // δ=0 must be feasible at weight 2
+	}
+	if delta.Sign() == 0 {
+		return fmt.Errorf("sat: equal complementary weights should permit weight 2 (got %v)", sol.Status)
+	}
+	return nil
+}
+
+// VerifyLemma36 checks Lemma 3.6 for a position p ∈ [2n+3;m]⁻: the set
+// S ∪ A'_p ∪ Ā_p ∪ {z1,z2} has ρ* = 2, and restricting the LP to edges
+// other than the six e^{k,0}_p / e^{k,1}_p makes weight ≤ 2 infeasible
+// ("the only way to cover … is by putting non-zero weight exclusively on
+// edges e^{k,0}_p and e^{k,1}_p").
+func (r *Reduction) VerifyLemma36(p Pos) error {
+	target := r.S.Union(r.APLow(p)).Union(r.AHigh(p)).Union(hypergraph.SetOf(r.Z1, r.Z2))
+	w, gamma := cover.FractionalEdgeCover(r.H, target)
+	if w == nil || w.Cmp(lp.RI(2)) != 0 {
+		return fmt.Errorf("sat: ρ*(Lemma 3.6 set at %v) = %v, want 2", p, w)
+	}
+	// The support of any optimal cover lies in the six p-edges: verify
+	// that the returned optimum does, and that excluding those edges
+	// pushes the optimum above 2.
+	allowed := map[int]bool{}
+	for k := 1; k <= 3; k++ {
+		allowed[r.EK0[[3]int{p.I, p.J, k}]] = true
+		allowed[r.EK1[[3]int{p.I, p.J, k}]] = true
+	}
+	for _, e := range gamma.Support() {
+		if !allowed[e] {
+			return fmt.Errorf("sat: optimal cover uses foreign edge %s", r.H.EdgeName(e))
+		}
+	}
+	// Re-solve with the six edges removed.
+	sub := hypergraph.New()
+	for v := 0; v < r.H.NumVertices(); v++ {
+		sub.Vertex(r.H.VertexName(v))
+	}
+	for e := 0; e < r.H.NumEdges(); e++ {
+		if !allowed[e] {
+			sub.AddEdgeSet(r.H.EdgeName(e), r.H.Edge(e))
+		}
+	}
+	w2, _ := cover.FractionalEdgeCover(sub, target)
+	if w2 != nil && w2.Cmp(lp.RI(2)) <= 0 {
+		return fmt.Errorf("sat: cover without p-edges has weight %v ≤ 2", w2)
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package sat
+
+import (
+	"fmt"
+
+	"hypertree/internal/hypergraph"
+)
+
+// Pos is a position p = (i,j) ∈ [2n+3; m] of the reduction, ordered
+// lexicographically; the special Q-elements (0,1), (0,0), (1,0) also use
+// this type.
+type Pos struct{ I, J int }
+
+// Reduction is the hypergraph H built from a 3SAT formula φ by the
+// construction of Theorem 3.2, with enough bookkeeping to state the
+// paper's lemmas about it: φ is satisfiable iff ghw(H) ≤ 2 iff
+// fhw(H) ≤ 2.
+type Reduction struct {
+	CNF  *CNF
+	H    *hypergraph.Hypergraph
+	Rows int // 2n+3
+	Cols int // m
+
+	// Vertex groups.
+	S, A, APrime, Y, YPrime hypergraph.VertexSet
+	Z1, Z2                  int
+
+	sIndex map[[3]int]int // (i,j,k) -> vertex of S
+	aIndex map[Pos]int    // p -> a_p
+	apIdx  map[Pos]int    // p -> a'_p
+	yIdx   []int          // l (1-based) -> y_l
+	ypIdx  []int          // l (1-based) -> y'_l
+
+	// Named edge groups.
+	EP      map[Pos]int    // e_p for p ∈ [2n+3;m]⁻
+	EY      []int          // e_{y_i}
+	EK0     map[[3]int]int // (i,j,k) -> e^{k,0}_p
+	EK1     map[[3]int]int // (i,j,k) -> e^{k,1}_p
+	E000    int            // e⁰_{(0,0)}
+	E100    int            // e¹_{(0,0)}
+	E0Max   int            // e⁰_max
+	E1Max   int            // e¹_max
+	Gadget  GadgetVertices // unprimed copy of H₀
+	GadgetP GadgetVertices // primed copy
+	// Gadget edge ids, in the order EA(5), EB(6), EC(5).
+	GadgetEdges, GadgetEdgesP []int
+}
+
+// GadgetVertices names the eight corner vertices of one copy of the
+// Lemma 3.1 gadget.
+type GadgetVertices struct {
+	A1, A2, B1, B2, C1, C2, D1, D2 int
+}
+
+// Min returns the minimal position (1,1).
+func (r *Reduction) Min() Pos { return Pos{1, 1} }
+
+// Max returns the maximal position (2n+3, m).
+func (r *Reduction) Max() Pos { return Pos{r.Rows, r.Cols} }
+
+// Succ returns the successor of p in lexicographic order.
+func (r *Reduction) Succ(p Pos) Pos {
+	if p.J < r.Cols {
+		return Pos{p.I, p.J + 1}
+	}
+	return Pos{p.I + 1, 1}
+}
+
+// Positions returns [2n+3; m] in order.
+func (r *Reduction) Positions() []Pos {
+	var ps []Pos
+	for i := 1; i <= r.Rows; i++ {
+		for j := 1; j <= r.Cols; j++ {
+			ps = append(ps, Pos{i, j})
+		}
+	}
+	return ps
+}
+
+// PositionsButLast returns [2n+3; m]⁻.
+func (r *Reduction) PositionsButLast() []Pos {
+	ps := r.Positions()
+	return ps[:len(ps)-1]
+}
+
+// SP returns S_q = (q | *) as a vertex set.
+func (r *Reduction) SP(q Pos) hypergraph.VertexSet {
+	s := hypergraph.NewVertexSet(r.H.NumVertices())
+	for k := 1; k <= 3; k++ {
+		s.Add(r.sIndex[[3]int{q.I, q.J, k}])
+	}
+	return s
+}
+
+// SKP returns the singleton S^k_p.
+func (r *Reduction) SKP(p Pos, k int) hypergraph.VertexSet {
+	return hypergraph.SetOf(r.sIndex[[3]int{p.I, p.J, k}])
+}
+
+// ALow returns A_p = {a_min, …, a_p} and AHigh returns Ā_p = {a_p, …,
+// a_max}; APLow/APHigh are the primed analogues.
+func (r *Reduction) ALow(p Pos) hypergraph.VertexSet  { return r.segment(r.aIndex, p, true) }
+func (r *Reduction) AHigh(p Pos) hypergraph.VertexSet { return r.segment(r.aIndex, p, false) }
+
+// APLow returns A'_p; APHigh returns Ā'_p.
+func (r *Reduction) APLow(p Pos) hypergraph.VertexSet  { return r.segment(r.apIdx, p, true) }
+func (r *Reduction) APHigh(p Pos) hypergraph.VertexSet { return r.segment(r.apIdx, p, false) }
+
+func (r *Reduction) segment(idx map[Pos]int, p Pos, low bool) hypergraph.VertexSet {
+	s := hypergraph.NewVertexSet(r.H.NumVertices())
+	for _, q := range r.Positions() {
+		le := q.I < p.I || (q.I == p.I && q.J <= p.J)
+		ge := q.I > p.I || (q.I == p.I && q.J >= p.J)
+		if (low && le) || (!low && ge) {
+			s.Add(idx[q])
+		}
+	}
+	return s
+}
+
+// BuildReduction constructs the hypergraph of Theorem 3.2 from φ.
+func BuildReduction(c *CNF) *Reduction {
+	n, m := c.NumVars, len(c.Clauses)
+	r := &Reduction{
+		CNF: c, H: hypergraph.New(), Rows: 2*n + 3, Cols: m,
+		sIndex: map[[3]int]int{}, aIndex: map[Pos]int{}, apIdx: map[Pos]int{},
+		EP: map[Pos]int{}, EK0: map[[3]int]int{}, EK1: map[[3]int]int{},
+	}
+	h := r.H
+
+	// Vertices. Q = [2n+3;m] ∪ {(0,1),(0,0),(1,0)}; S = Q × {1,2,3}.
+	qs := append(r.Positions(), Pos{0, 1}, Pos{0, 0}, Pos{1, 0})
+	r.S = hypergraph.NewVertexSet(0)
+	for _, q := range qs {
+		for k := 1; k <= 3; k++ {
+			v := h.Vertex(fmt.Sprintf("s_%d_%d_%d", q.I, q.J, k))
+			r.sIndex[[3]int{q.I, q.J, k}] = v
+			r.S.Add(v)
+		}
+	}
+	r.A, r.APrime = hypergraph.NewVertexSet(0), hypergraph.NewVertexSet(0)
+	for _, p := range r.Positions() {
+		v := h.Vertex(fmt.Sprintf("a_%d_%d", p.I, p.J))
+		r.aIndex[p] = v
+		r.A.Add(v)
+		vp := h.Vertex(fmt.Sprintf("ap_%d_%d", p.I, p.J))
+		r.apIdx[p] = vp
+		r.APrime.Add(vp)
+	}
+	r.Y, r.YPrime = hypergraph.NewVertexSet(0), hypergraph.NewVertexSet(0)
+	r.yIdx, r.ypIdx = make([]int, n+1), make([]int, n+1)
+	for l := 1; l <= n; l++ {
+		r.yIdx[l] = h.Vertex(fmt.Sprintf("y_%d", l))
+		r.Y.Add(r.yIdx[l])
+		r.ypIdx[l] = h.Vertex(fmt.Sprintf("yp_%d", l))
+		r.YPrime.Add(r.ypIdx[l])
+	}
+	r.Z1, r.Z2 = h.Vertex("z1"), h.Vertex("z2")
+	g := GadgetVertices{
+		A1: h.Vertex("a1"), A2: h.Vertex("a2"), B1: h.Vertex("b1"), B2: h.Vertex("b2"),
+		C1: h.Vertex("c1"), C2: h.Vertex("c2"), D1: h.Vertex("d1"), D2: h.Vertex("d2"),
+	}
+	gp := GadgetVertices{
+		A1: h.Vertex("a1p"), A2: h.Vertex("a2p"), B1: h.Vertex("b1p"), B2: h.Vertex("b2p"),
+		C1: h.Vertex("c1p"), C2: h.Vertex("c2p"), D1: h.Vertex("d1p"), D2: h.Vertex("d2p"),
+	}
+	r.Gadget, r.GadgetP = g, gp
+
+	// M-sets. M1 = S \ S_(0,1) ∪ {z1}; M2 = Y ∪ S_(0,1) ∪ {z2};
+	// M'1 = S \ S_(1,0) ∪ {z1}; M'2 = Y' ∪ S_(1,0) ∪ {z2}.
+	m1 := r.S.Diff(r.SP(Pos{0, 1})).With(r.Z1)
+	m2 := r.Y.Union(r.SP(Pos{0, 1})).With(r.Z2)
+	m1p := r.S.Diff(r.SP(Pos{1, 0})).With(r.Z1)
+	m2p := r.YPrime.Union(r.SP(Pos{1, 0})).With(r.Z2)
+
+	r.GadgetEdges = buildGadgetEdges(h, "", g, m1, m2)
+	r.GadgetEdgesP = buildGadgetEdges(h, "p", gp, m1p, m2p)
+
+	// Path edges e_p = A'_p ∪ Ā_p for p ∈ [2n+3;m]⁻.
+	for _, p := range r.PositionsButLast() {
+		r.EP[p] = h.AddEdgeSet(fmt.Sprintf("e_%d_%d", p.I, p.J), r.APLow(p).Union(r.AHigh(p)))
+	}
+	// e_{y_i} = {y_i, y'_i}.
+	for l := 1; l <= n; l++ {
+		r.EY = append(r.EY, h.AddEdgeSet(fmt.Sprintf("ey_%d", l),
+			hypergraph.SetOf(r.yIdx[l], r.ypIdx[l])))
+	}
+	// Literal edges e^{k,0}_p and e^{k,1}_p for p = (i,j) ∈ [2n+3;m]⁻.
+	for _, p := range r.PositionsButLast() {
+		clause := c.Clauses[p.J-1]
+		for k := 1; k <= 3; k++ {
+			lit := clause[k-1]
+			l := lit.Var()
+			skp := r.SKP(p, k)
+			var y0, y1 hypergraph.VertexSet
+			if lit.Positive() { // L^k_j = x_l
+				y0 = r.Y.Clone()
+				y1 = r.YPrime.Without(r.ypIdx[l])
+			} else { // L^k_j = ¬x_l
+				y0 = r.Y.Without(r.yIdx[l])
+				y1 = r.YPrime.Clone()
+			}
+			e0 := r.AHigh(p).Union(r.S.Diff(skp)).Union(y0).With(r.Z1)
+			e1 := r.APLow(p).Union(skp).Union(y1).With(r.Z2)
+			r.EK0[[3]int{p.I, p.J, k}] = h.AddEdgeSet(fmt.Sprintf("e%d_0_%d_%d", k, p.I, p.J), e0)
+			r.EK1[[3]int{p.I, p.J, k}] = h.AddEdgeSet(fmt.Sprintf("e%d_1_%d_%d", k, p.I, p.J), e1)
+		}
+	}
+	// Connector edges.
+	r.E000 = h.AddEdgeSet("e0_00",
+		hypergraph.SetOf(g.A1).Union(r.A).Union(r.S.Diff(r.SP(Pos{0, 0}))).Union(r.Y).With(r.Z1))
+	r.E100 = h.AddEdgeSet("e1_00", r.SP(Pos{0, 0}).Union(r.YPrime).With(r.Z2))
+	r.E0Max = h.AddEdgeSet("e0_max", r.S.Diff(r.SP(r.Max())).Union(r.Y).With(r.Z1))
+	r.E1Max = h.AddEdgeSet("e1_max",
+		hypergraph.SetOf(gp.A1).Union(r.APrime).Union(r.SP(r.Max())).Union(r.YPrime).With(r.Z2))
+	return r
+}
+
+// buildGadgetEdges adds the EA/EB/EC edges of Lemma 3.1 for one gadget
+// copy and returns their ids (5 + 6 + 5 edges).
+func buildGadgetEdges(h *hypergraph.Hypergraph, suffix string, g GadgetVertices, m1, m2 hypergraph.VertexSet) []int {
+	pair := func(a, b int) hypergraph.VertexSet { return hypergraph.SetOf(a, b) }
+	name := func(base string) string { return base + suffix }
+	var ids []int
+	add := func(base string, s hypergraph.VertexSet) {
+		ids = append(ids, h.AddEdgeSet(name(base), s))
+	}
+	// EA
+	add("EA1", pair(g.A1, g.B1).Union(m1))
+	add("EA2", pair(g.A2, g.B2).Union(m2))
+	add("EA3", pair(g.A1, g.B2))
+	add("EA4", pair(g.A2, g.B1))
+	add("EA5", pair(g.A1, g.A2))
+	// EB
+	add("EB1", pair(g.B1, g.C1).Union(m1))
+	add("EB2", pair(g.B2, g.C2).Union(m2))
+	add("EB3", pair(g.B1, g.C2))
+	add("EB4", pair(g.B2, g.C1))
+	add("EB5", pair(g.B1, g.B2))
+	add("EB6", pair(g.C1, g.C2))
+	// EC
+	add("EC1", pair(g.C1, g.D1).Union(m1))
+	add("EC2", pair(g.C2, g.D2).Union(m2))
+	add("EC3", pair(g.C1, g.D2))
+	add("EC4", pair(g.C2, g.D1))
+	add("EC5", pair(g.D1, g.D2))
+	return ids
+}
+
+// StandaloneGadget builds the hypergraph H₀ of Lemma 3.1 on its own,
+// with M1 and M2 of the given sizes (fresh vertices m1_i / m2_i). Used to
+// verify the gadget's forced-bag structure with the exact algorithms.
+func StandaloneGadget(m1Size, m2Size int) (*hypergraph.Hypergraph, GadgetVertices) {
+	h := hypergraph.New()
+	g := GadgetVertices{
+		A1: h.Vertex("a1"), A2: h.Vertex("a2"), B1: h.Vertex("b1"), B2: h.Vertex("b2"),
+		C1: h.Vertex("c1"), C2: h.Vertex("c2"), D1: h.Vertex("d1"), D2: h.Vertex("d2"),
+	}
+	m1 := hypergraph.NewVertexSet(0)
+	for i := 0; i < m1Size; i++ {
+		m1.Add(h.Vertex(fmt.Sprintf("m1_%d", i+1)))
+	}
+	m2 := hypergraph.NewVertexSet(0)
+	for i := 0; i < m2Size; i++ {
+		m2.Add(h.Vertex(fmt.Sprintf("m2_%d", i+1)))
+	}
+	buildGadgetEdges(h, "", g, m1, m2)
+	return h, g
+}

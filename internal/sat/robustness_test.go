@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/lp"
+)
+
+// TestParseDIMACSNeverPanics — random input must not panic the parser.
+func TestParseDIMACSNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	alphabet := []byte("pc cnf0123456789- \n")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		ParseDIMACS(string(b))
+	}
+}
+
+// TestReductionInvariantsOnRandomFormulas — structural invariants of the
+// Theorem 3.2 construction over random formulas: vertex/edge counts
+// follow closed forms, no empty edges, no isolated vertices, and the
+// complementary-edge structure holds (every e∩S of the form S\S' has a
+// partner covering S').
+func TestReductionInvariantsOnRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(3)
+		c := Random3SAT(rng, n, m)
+		c.NumVars = n // generator may use fewer; force the paper's n
+		r := BuildReduction(c)
+		rows := 2*n + 3
+		if r.Rows != rows || r.Cols != m {
+			t.Fatalf("grid [%d;%d], want [%d;%d]", r.Rows, r.Cols, rows, m)
+		}
+		wantV := (rows*m+3)*3 + 2*rows*m + 2*n + 2 + 16
+		if got := r.H.NumVertices(); got != wantV {
+			t.Fatalf("|V| = %d, want %d (n=%d,m=%d)", got, wantV, n, m)
+		}
+		wantE := 32 + (rows*m - 1) + n + 6*(rows*m-1) + 4
+		if got := r.H.NumEdges(); got != wantE {
+			t.Fatalf("|E| = %d, want %d (n=%d,m=%d)", got, wantE, n, m)
+		}
+		if err := r.H.ValidateNonEmpty(); err != nil {
+			t.Fatal(err)
+		}
+		// Complementary edges: e^{k,0}_p ∩ S = S \ S^k_p and
+		// e^{k,1}_p ∩ S = S^k_p for all p, k.
+		for _, p := range r.PositionsButLast() {
+			for k := 1; k <= 3; k++ {
+				e0 := r.H.Edge(r.EK0[[3]int{p.I, p.J, k}]).Intersect(r.S)
+				e1 := r.H.Edge(r.EK1[[3]int{p.I, p.J, k}]).Intersect(r.S)
+				skp := r.SKP(p, k)
+				if !e0.Equal(r.S.Diff(skp)) || !e1.Equal(skp) {
+					t.Fatalf("complementary structure broken at p=%v k=%d", p, k)
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessWidthNeverBelow2 — the witness GHD has width exactly 2,
+// never less: fhw(H(φ)) = 2 for satisfiable φ, so any width < 2 would
+// contradict Lemma 3.1's forced gadget bags.
+func TestWitnessWidthNeverBelow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tested := 0
+	for tested < 4 {
+		c := Random3SAT(rng, 2, 2)
+		model := c.Solve()
+		if model == nil {
+			continue
+		}
+		tested++
+		r := BuildReduction(c)
+		d, err := WitnessGHD(r, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range d.Nodes {
+			if d.Nodes[u].Cover.Weight().Cmp(lp.RI(2)) > 0 {
+				t.Fatal("node cover exceeds 2")
+			}
+		}
+		if d.Width().Cmp(lp.RI(2)) != 0 {
+			t.Fatalf("width %v != 2", d.Width())
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/lp"
+)
+
+func TestCNFBasics(t *testing.T) {
+	// φ of Example 3.3: (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x2 ∨ ¬x3).
+	c := NewCNF(Clause{1, -2, 3}, Clause{-1, 2, -3})
+	if c.NumVars != 3 {
+		t.Fatalf("NumVars = %d", c.NumVars)
+	}
+	a := c.Solve()
+	if a == nil {
+		t.Fatal("Example 3.3 formula is satisfiable")
+	}
+	if !c.Satisfies(a) {
+		t.Fatal("Solve returned a non-model")
+	}
+	// σ from the paper: x1=true, x2=x3=false.
+	if !c.Satisfies([]bool{false, true, false, false}) {
+		t.Fatal("paper's σ must satisfy φ")
+	}
+	// Unsatisfiable: (x1)(¬x1) padded.
+	u := NewCNF(Clause{1, 1, 1}, Clause{-1, -1, -1})
+	if u.Solve() != nil {
+		t.Fatal("x ∧ ¬x is unsatisfiable")
+	}
+}
+
+func TestParseDIMACS(t *testing.T) {
+	c, err := ParseDIMACS("c comment\np cnf 3 2\n1 -2 3 0\n-1 2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clauses) != 2 || c.NumVars != 3 {
+		t.Fatalf("parsed %d clauses, %d vars", len(c.Clauses), c.NumVars)
+	}
+	// Two-literal clause padded by repetition.
+	if c.Clauses[1][2] != c.Clauses[1][1] {
+		t.Fatal("short clause not padded")
+	}
+	if _, err := ParseDIMACS("1 2 3 4 0\n"); err == nil {
+		t.Fatal("4-literal clause must be rejected")
+	}
+}
+
+func TestReductionShape(t *testing.T) {
+	// Example 3.3: n=3, m=2. Check the construction's inventory.
+	c := NewCNF(Clause{1, -2, 3}, Clause{-1, 2, -3})
+	r := BuildReduction(c)
+	if r.Rows != 9 || r.Cols != 2 {
+		t.Fatalf("[2n+3;m] = [%d;%d], want [9;2]", r.Rows, r.Cols)
+	}
+	// |S| = (|[9;2]| + 3) · 3 = (18+3)·3 = 63.
+	if got := r.S.Count(); got != 63 {
+		t.Fatalf("|S| = %d, want 63", got)
+	}
+	if r.A.Count() != 18 || r.APrime.Count() != 18 {
+		t.Fatalf("|A| = %d, |A'| = %d, want 18", r.A.Count(), r.APrime.Count())
+	}
+	if r.Y.Count() != 3 || r.YPrime.Count() != 3 {
+		t.Fatal("Y/Y' sizes wrong")
+	}
+	// V = S ∪ A ∪ A' ∪ Y ∪ Y' ∪ {z1,z2} ∪ 16 gadget corners.
+	want := 63 + 18 + 18 + 3 + 3 + 2 + 16
+	if got := r.H.NumVertices(); got != want {
+		t.Fatalf("|V| = %d, want %d", got, want)
+	}
+	// Edges: 16+16 gadget, 17 e_p, 3 e_y, 17·6 literal edges, 4
+	// connectors.
+	wantE := 32 + 17 + 3 + 17*6 + 4
+	if got := r.H.NumEdges(); got != wantE {
+		t.Fatalf("|E| = %d, want %d", got, wantE)
+	}
+	if err := r.H.ValidateNonEmpty(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiteralEdgeShape(t *testing.T) {
+	// The crucial property: e^{k,0}_p ∪ e^{k,1}_p covers all of Y ∪ Y'
+	// except y'_l (positive literal x_l) or y_l (negative literal ¬x_l).
+	c := NewCNF(Clause{1, -2, 3}, Clause{-1, 2, -3})
+	r := BuildReduction(c)
+	for _, p := range r.PositionsButLast() {
+		clause := c.Clauses[p.J-1]
+		for k := 1; k <= 3; k++ {
+			e0 := r.H.Edge(r.EK0[[3]int{p.I, p.J, k}])
+			e1 := r.H.Edge(r.EK1[[3]int{p.I, p.J, k}])
+			u := e0.Union(e1)
+			missing := r.Y.Union(r.YPrime).Diff(u)
+			if missing.Count() != 1 {
+				t.Fatalf("p=%v k=%d: %d vertices of Y∪Y' missing, want 1", p, k, missing.Count())
+			}
+			lit := clause[k-1]
+			var want int
+			if lit.Positive() {
+				want = r.ypIdx[lit.Var()]
+			} else {
+				want = r.yIdx[lit.Var()]
+			}
+			if !missing.Has(want) {
+				t.Fatalf("p=%v k=%d: wrong missing vertex", p, k)
+			}
+		}
+	}
+}
+
+func TestWitnessGHDValidWidth2(t *testing.T) {
+	// Theorem 3.2 "if" direction, end to end: satisfiable φ → the
+	// Table 1 construction is a valid GHD (hence FHD) of width 2.
+	for _, c := range []*CNF{
+		NewCNF(Clause{1, -2, 3}, Clause{-1, 2, -3}),
+		NewCNF(Clause{1, 1, 1}),
+		NewCNF(Clause{1, 2, 3}, Clause{-1, -2, -3}, Clause{1, -2, 3}),
+	} {
+		r := BuildReduction(c)
+		a := c.Solve()
+		if a == nil {
+			t.Fatal("test formula must be satisfiable")
+		}
+		d, err := WitnessGHD(r, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(decomp.GHD); err != nil {
+			t.Fatalf("witness GHD invalid for %v: %v", c, err)
+		}
+		if d.Width().Cmp(lp.RI(2)) != 0 {
+			t.Fatalf("witness width = %v, want 2", d.Width())
+		}
+		if err := d.Validate(decomp.FHD); err != nil {
+			t.Fatal(err)
+		}
+		// Node count: 3 + 1 + (|[2n+3;m]|−1) + 1 + 3.
+		want := 8 + r.Rows*r.Cols - 1
+		if d.NumNodes() != want {
+			t.Fatalf("witness has %d nodes, want %d", d.NumNodes(), want)
+		}
+	}
+}
+
+func TestWitnessRejectsNonModel(t *testing.T) {
+	c := NewCNF(Clause{1, 1, 1}, Clause{-2, -2, -2})
+	r := BuildReduction(c)
+	if _, err := WitnessGHD(r, []bool{false, false, true}); err == nil {
+		t.Fatal("non-model must be rejected")
+	}
+}
+
+func TestRandomSatisfiableWitnesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	built := 0
+	for built < 5 {
+		c := Random3SAT(rng, 2+rng.Intn(2), 1+rng.Intn(2))
+		a := c.Solve()
+		if a == nil {
+			continue
+		}
+		built++
+		r := BuildReduction(c)
+		d, err := WitnessGHD(r, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(decomp.GHD); err != nil {
+			t.Fatalf("φ=%v: %v", c, err)
+		}
+		if d.Width().Cmp(lp.RI(2)) != 0 {
+			t.Fatal("width must be 2")
+		}
+	}
+}
+
+func TestReductionLemmas(t *testing.T) {
+	// The "only if" machinery, on a satisfiable and an unsatisfiable
+	// formula alike (the lemmas are about the construction, not about
+	// satisfiability).
+	for _, c := range []*CNF{
+		NewCNF(Clause{1, 1, 1}),                      // satisfiable
+		NewCNF(Clause{1, 1, 1}, Clause{-1, -1, -1}),  // unsatisfiable
+		NewCNF(Clause{1, -2, 2}, Clause{-1, -1, -1}), // satisfiable
+	} {
+		r := BuildReduction(c)
+		if err := r.VerifyCoreLP(); err != nil {
+			t.Errorf("φ=%v: %v", c, err)
+		}
+		if err := r.VerifyBlockingSets(); err != nil {
+			t.Errorf("φ=%v: %v", c, err)
+		}
+		if err := r.VerifyLemma36(r.Min()); err != nil {
+			t.Errorf("φ=%v: %v", c, err)
+		}
+		// Complementary pair weights: δ=0 feasible, δ=±1/2 infeasible.
+		if err := r.VerifyComplementaryWeights(r.Min(), 1, lp.RI(0)); err != nil {
+			t.Errorf("φ=%v δ=0: %v", c, err)
+		}
+		if err := r.VerifyComplementaryWeights(r.Min(), 1, lp.R(1, 2)); err != nil {
+			t.Errorf("φ=%v δ=1/2: %v", c, err)
+		}
+		if err := r.VerifyComplementaryWeights(r.Min(), 2, lp.R(-1, 2)); err != nil {
+			t.Errorf("φ=%v δ=-1/2: %v", c, err)
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	c := NewCNF(Clause{1, 1, 1}) // n=1, m=1: [5;1]
+	r := BuildReduction(c)
+	if len(r.Positions()) != 5 {
+		t.Fatalf("positions = %d, want 5", len(r.Positions()))
+	}
+	p := Pos{3, 1}
+	if got := r.ALow(p).Count(); got != 3 {
+		t.Fatalf("|A_p| = %d, want 3", got)
+	}
+	if got := r.AHigh(p).Count(); got != 3 {
+		t.Fatalf("|Ā_p| = %d, want 3", got)
+	}
+	// A_p ∪ Ā_p = A with overlap {a_p}.
+	if !r.ALow(p).Union(r.AHigh(p)).Equal(r.A) {
+		t.Fatal("segments must cover A")
+	}
+	if r.ALow(p).Intersect(r.AHigh(p)).Count() != 1 {
+		t.Fatal("segments must overlap in exactly a_p")
+	}
+	if r.Succ(Pos{1, 1}) != (Pos{2, 1}) {
+		t.Fatal("successor with m=1 must advance rows")
+	}
+}

@@ -1,0 +1,126 @@
+package sat
+
+import (
+	"fmt"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// WitnessGHD builds the width-2 GHD of Table 1 / Figure 2 for the
+// reduction hypergraph of a satisfiable formula, given a satisfying
+// assignment (1-based). The decomposition is the path
+//
+//	u_C — u_B — u_A — u_{min⊖1} — u_min — … — u_{max⊖1} — u_max — u'_A — u'_B — u'_C
+//
+// with Z = {y_i | σ(x_i)=1} ∪ {y'_i | σ(x_i)=0} and, at each inner node
+// u_p with p = (i,j), the cover {e^{k_j,0}_p, e^{k_j,1}_p} for some
+// literal k_j of clause j satisfied by σ. It returns an error if the
+// assignment does not satisfy the formula.
+func WitnessGHD(r *Reduction, assign []bool) (*decomp.Decomp, error) {
+	if !r.CNF.Satisfies(assign) {
+		return nil, fmt.Errorf("sat: assignment does not satisfy the formula")
+	}
+	h := r.H
+	n := r.CNF.NumVars
+
+	// Z ⊆ Y ∪ Y'.
+	z := hypergraph.NewVertexSet(h.NumVertices())
+	for l := 1; l <= n; l++ {
+		if assign[l] {
+			z.Add(r.yIdx[l])
+		} else {
+			z.Add(r.ypIdx[l])
+		}
+	}
+	// k_j: a satisfied literal per clause.
+	kOf := make([]int, len(r.CNF.Clauses))
+	for j, cl := range r.CNF.Clauses {
+		kOf[j] = -1
+		for k, lit := range cl {
+			if assign[lit.Var()] == lit.Positive() {
+				kOf[j] = k + 1
+				break
+			}
+		}
+		if kOf[j] < 0 {
+			return nil, fmt.Errorf("sat: clause %d unsatisfied", j+1)
+		}
+	}
+
+	z12 := hypergraph.SetOf(r.Z1, r.Z2)
+	cornerBag := func(g GadgetVertices, side string, ys hypergraph.VertexSet) hypergraph.VertexSet {
+		var corners hypergraph.VertexSet
+		switch side {
+		case "A":
+			corners = hypergraph.SetOf(g.A1, g.A2, g.B1, g.B2)
+		case "B":
+			corners = hypergraph.SetOf(g.B1, g.B2, g.C1, g.C2)
+		case "C":
+			corners = hypergraph.SetOf(g.C1, g.C2, g.D1, g.D2)
+		}
+		return corners.Union(ys).Union(r.S).Union(z12)
+	}
+	cov := func(edges ...int) cover.Fractional {
+		c := cover.Fractional{}
+		for _, e := range edges {
+			c[e] = lp.RI(1)
+		}
+		return c
+	}
+	// Gadget edge id helpers: ids are in EA(0..4), EB(5..10), EC(11..15).
+	gUnprimed, gPrimed := r.GadgetEdges, r.GadgetEdgesP
+
+	d := decomp.New(h)
+	uC := d.AddNode(-1, cornerBag(r.Gadget, "C", r.Y), cov(gUnprimed[11], gUnprimed[12]))
+	uB := d.AddNode(uC, cornerBag(r.Gadget, "B", r.Y), cov(gUnprimed[5], gUnprimed[6]))
+	uA := d.AddNode(uB, cornerBag(r.Gadget, "A", r.Y), cov(gUnprimed[0], gUnprimed[1]))
+
+	// u_{min⊖1}: {a1} ∪ A ∪ Y ∪ S ∪ Z ∪ {z1,z2}.
+	uPrev := d.AddNode(uA,
+		hypergraph.SetOf(r.Gadget.A1).Union(r.A).Union(r.Y).Union(r.S).Union(z).Union(z12),
+		cov(r.E000, r.E100))
+
+	// Inner path nodes u_p for p ∈ [2n+3;m]⁻.
+	for _, p := range r.PositionsButLast() {
+		k := kOf[p.J-1]
+		bag := r.APLow(p).Union(r.AHigh(p)).Union(r.S).Union(z).Union(z12)
+		uPrev = d.AddNode(uPrev, bag,
+			cov(r.EK0[[3]int{p.I, p.J, k}], r.EK1[[3]int{p.I, p.J, k}]))
+	}
+
+	// u_max: {a'1} ∪ A' ∪ Y' ∪ S ∪ Z ∪ {z1,z2}.
+	uMax := d.AddNode(uPrev,
+		hypergraph.SetOf(r.GadgetP.A1).Union(r.APrime).Union(r.YPrime).Union(r.S).Union(z).Union(z12),
+		cov(r.E0Max, r.E1Max))
+
+	uAp := d.AddNode(uMax, cornerBag(r.GadgetP, "A", r.YPrime), cov(gPrimed[0], gPrimed[1]))
+	uBp := d.AddNode(uAp, cornerBag(r.GadgetP, "B", r.YPrime), cov(gPrimed[5], gPrimed[6]))
+	d.AddNode(uBp, cornerBag(r.GadgetP, "C", r.YPrime), cov(gPrimed[11], gPrimed[12]))
+	return d, nil
+}
+
+// WidthLift implements the k+ℓ extension at the end of Section 3: it
+// returns H extended with a clique of 2ℓ fresh vertices, each also
+// connected to every original vertex. For every hypergraph,
+// fhw(lift) = fhw(H) + ℓ and ghw(lift) = ghw(H) + ℓ.
+func WidthLift(h *hypergraph.Hypergraph, ell int) *hypergraph.Hypergraph {
+	out := h.Clone()
+	fresh := make([]int, 2*ell)
+	for i := range fresh {
+		fresh[i] = out.Vertex(fmt.Sprintf("lift_%d", i+1))
+	}
+	for i := 0; i < len(fresh); i++ {
+		for j := i + 1; j < len(fresh); j++ {
+			out.AddEdgeSet(fmt.Sprintf("liftc_%d_%d", i+1, j+1), hypergraph.SetOf(fresh[i], fresh[j]))
+		}
+	}
+	for i, f := range fresh {
+		for v := 0; v < h.NumVertices(); v++ {
+			out.AddEdgeSet(fmt.Sprintf("lifto_%d_%d", i+1, v), hypergraph.SetOf(f, v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package vc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+)
+
+func TestDimensionKnown(t *testing.T) {
+	// A graph (rank 2) has VC dimension ≤ 2. In K3 no pair is shattered
+	// (the empty trace needs an edge disjoint from the pair), so vc = 1;
+	// in K4 the opposite edge provides the empty trace, so vc = 2.
+	if got := Dimension(hypergraph.Clique(3)); got != 1 {
+		t.Errorf("vc(K3) = %d, want 1", got)
+	}
+	if got := Dimension(hypergraph.Clique(4)); got != 2 {
+		t.Errorf("vc(K4) = %d, want 2", got)
+	}
+	// Single edge: every 1-subset shattered needs an edge missing the
+	// vertex; with one edge only, vc = ... E(H)|X must contain ∅ and X.
+	h1 := hypergraph.MustParse("e(a,b)")
+	if got := Dimension(h1); got != 0 {
+		t.Errorf("vc(single edge) = %d, want 0", got)
+	}
+	// Power-set-like hypergraph shatters {a,b}: edges ∅ not allowed, so
+	// use {c},{a,c},{b,c},{a,b,c} traces on {a,b}.
+	h2 := hypergraph.MustParse("e1(c),e2(a,c),e3(b,c),e4(a,b,c)")
+	if got := Dimension(h2); got != 2 {
+		t.Errorf("vc = %d, want 2", got)
+	}
+	// Lemma 6.24 family: vc(AntiBMIP_n) < 2.
+	for n := 3; n <= 7; n++ {
+		if got := Dimension(hypergraph.AntiBMIP(n)); got >= 2 {
+			t.Errorf("vc(AntiBMIP_%d) = %d, want < 2", n, got)
+		}
+	}
+}
+
+func TestLemma624BMIPBound(t *testing.T) {
+	// BMIP ⇒ bounded VC dimension: vc(H) ≤ c + i when c-miwidth(H) ≤ i.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 10, 7, 4, 2)
+		for c := 2; c <= 3; c++ {
+			i := h.MultiIntersectionWidth(c)
+			if Dimension(h) > c+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransversalityTriangle(t *testing.T) {
+	h := hypergraph.Clique(3)
+	if got := Transversality(h); got != 2 {
+		t.Errorf("τ(K3) = %d, want 2", got)
+	}
+	ts := FractionalTransversality(h)
+	if ts.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Errorf("τ*(K3) = %v, want 3/2", ts)
+	}
+	gap := TIGap(h)
+	if gap.Cmp(big.NewRat(4, 3)) != 0 {
+		t.Errorf("tigap(K3) = %v, want 4/3", gap)
+	}
+}
+
+func TestDualityGaps(t *testing.T) {
+	// cigap(H) = tigap(H^d) on reduced hypergraphs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, _ := hypergraph.RandomBIP(rng, 8, 5, 3, 2).Reduce()
+		cg := CIGap(h)
+		tg := TIGap(h.Dual())
+		if cg == nil || tg == nil {
+			return cg == nil && tg == nil
+		}
+		return cg.Cmp(tg) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIGapWithinBound(t *testing.T) {
+	// Theorem 6.23's machinery: cigap within the Ding–Seymour–Winkler
+	// style bound on random low-VC hypergraphs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, _ := hypergraph.RandomBIP(rng, 9, 6, 3, 1).Reduce()
+		gap := CIGap(h)
+		bound := DingSeymourWinklerBound(h)
+		if gap == nil || bound == nil {
+			return true
+		}
+		return gap.Cmp(bound) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExample51Gap(t *testing.T) {
+	// H_n of Example 5.1: ρ = 2, ρ* = 2−1/n → cigap = 2n/(2n−1) → 1.
+	for n := 2; n <= 6; n++ {
+		h := hypergraph.UnboundedSupport(n)
+		want := big.NewRat(int64(2*n), int64(2*n-1))
+		if got := CIGap(h); got.Cmp(want) != 0 {
+			t.Errorf("cigap(H_%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestShatteredSubsetClosure(t *testing.T) {
+	// Every subset of a shattered set is shattered (Sauer's hereditary
+	// property), validating the pruning in Dimension.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := hypergraph.RandomBIP(rng, 8, 6, 4, 3)
+		for trial := 0; trial < 10; trial++ {
+			a := rng.Intn(h.NumVertices())
+			b := rng.Intn(h.NumVertices())
+			if a == b {
+				continue
+			}
+			pair := hypergraph.SetOf(a, b)
+			if IsShattered(h, pair) {
+				if !IsShattered(h, hypergraph.SetOf(a)) || !IsShattered(h, hypergraph.SetOf(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueCoverGapEven(t *testing.T) {
+	// Lemma 2.3: ρ = ρ* on even cliques → cigap = 1.
+	for n := 2; n <= 8; n += 2 {
+		h := hypergraph.Clique(n)
+		if got := CIGap(h); got.Cmp(big.NewRat(1, 1)) != 0 {
+			t.Errorf("cigap(K%d) = %v, want 1", n, got)
+		}
+		_ = cover.RhoStar(h)
+	}
+}
