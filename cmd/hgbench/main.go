@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	hgbench [-exp E03] [-seed 1] [-quick]
+//	hgbench [-exp E03] [-seed 1] [-quick] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -15,6 +15,8 @@ import (
 	"math/big"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -30,8 +32,10 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "smaller parameter sweeps")
-	seed  = flag.Int64("seed", 1, "random seed for generated workloads")
+	quick      = flag.Bool("quick", false, "smaller parameter sweeps")
+	seed       = flag.Int64("seed", 1, "random seed for generated workloads")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 type experiment struct {
@@ -59,6 +63,48 @@ func main() {
 		{"E13", "Section 3 closing: k+ℓ width lift", e13},
 		{"E14", "Lemma 4.6 / Theorem A.3: transformations preserve width", e14},
 	}
+	if *sel != "" {
+		known := false
+		for _, e := range exps {
+			if strings.EqualFold(*sel, e.id) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *sel)
+			os.Exit(1)
+		}
+	}
+	// Profiles start only after flag validation so error exits never
+	// leave truncated profile files behind.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 	for _, e := range exps {
 		if *sel != "" && !strings.EqualFold(*sel, e.id) {
 			continue
@@ -67,15 +113,6 @@ func main() {
 		start := time.Now()
 		e.run()
 		fmt.Printf("  [%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
-	}
-	if *sel != "" {
-		for _, e := range exps {
-			if strings.EqualFold(*sel, e.id) {
-				return
-			}
-		}
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *sel)
-		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,3 @@
+module hypertree
+
+go 1.24

@@ -331,15 +331,18 @@ func findOrAddSubedge(aug *Augmented, sub hypergraph.VertexSet) int {
 // all subedges of edges of H with at most k·i+c vertices. sizeLimit is
 // k·i+c; maxSets caps the output.
 func SubedgesUpTo(h *hypergraph.Hypergraph, sizeLimit, maxSets int) ([]hypergraph.VertexSet, error) {
-	seen := map[string]bool{}
+	var seen hypergraph.Interner
 	var out []hypergraph.VertexSet
 	var add func(s hypergraph.VertexSet) error
 	add = func(s hypergraph.VertexSet) error {
-		if s.IsEmpty() || seen[s.Key()] {
+		if s.IsEmpty() {
 			return nil
 		}
-		seen[s.Key()] = true
-		out = append(out, s)
+		_, canon, isNew := seen.Intern(s)
+		if !isNew {
+			return nil
+		}
+		out = append(out, canon)
 		if maxSets > 0 && len(out) > maxSets {
 			return fmt.Errorf("core: bounded subedge closure exceeds %d sets", maxSets)
 		}

@@ -11,8 +11,6 @@
 package core
 
 import (
-	"sort"
-
 	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
@@ -23,15 +21,23 @@ import (
 type hdNode struct {
 	lambda   []int // chosen edges
 	bag      hypergraph.VertexSet
-	children []string // memo keys of child subproblems
+	children []uint64 // memo keys of child subproblems
 }
 
-// hdSearch carries the memoization state of one CheckHD run.
+// hdSearch carries the memoization state of one CheckHD run. Subproblems
+// (component, connector) are interned to integer ids and memoized under a
+// packed 64-bit key; scratch buffers make the per-guess check
+// allocation-free up to the point a guess is accepted.
 type hdSearch struct {
-	h    *hypergraph.Hypergraph
-	k    int
-	memo map[string]*hdNode // key -> node (nil entry = known failure)
-	done map[string]bool
+	h      *hypergraph.Hypergraph
+	k      int
+	intern hypergraph.Interner
+	memo   map[uint64]*hdNode // presence = solved; nil value = known failure
+
+	// Scratch buffers reused across check() invocations. Each buffer is
+	// fully consumed before any recursive call, so reuse is safe.
+	scope, b, bag, wc hypergraph.VertexSet
+	ebuf              hypergraph.EdgeSet
 }
 
 // CheckHD decides Check(HD,k): whether h has a hypertree decomposition of
@@ -44,11 +50,19 @@ func CheckHD(h *hypergraph.Hypergraph, k int) *decomp.Decomp {
 	if k <= 0 || h.NumEdges() == 0 {
 		return nil
 	}
-	s := &hdSearch{h: h, k: k, memo: map[string]*hdNode{}, done: map[string]bool{}}
+	n := h.NumVertices()
+	s := &hdSearch{
+		h: h, k: k, memo: map[uint64]*hdNode{},
+		scope: hypergraph.NewVertexSet(n),
+		b:     hypergraph.NewVertexSet(n),
+		bag:   hypergraph.NewVertexSet(n),
+		wc:    hypergraph.NewVertexSet(n),
+		ebuf:  hypergraph.NewEdgeSet(h.NumEdges()),
+	}
 	all := h.Vertices()
-	empty := hypergraph.NewVertexSet(h.NumVertices())
-	key := s.decompose(all, empty)
-	if key == "" {
+	empty := hypergraph.NewVertexSet(n)
+	key, ok := s.decompose(all, empty)
+	if !ok {
 		return nil
 	}
 	d := decomp.New(h)
@@ -72,7 +86,8 @@ func HW(h *hypergraph.Hypergraph, maxK int) (int, *decomp.Decomp) {
 
 // decompose solves the subproblem (C, W): C is a component still to be
 // covered and W ⊆ Bparent is its connector (the parent-bag vertices
-// adjacent to C). It returns the memo key of a witness node, or "".
+// adjacent to C). It returns the memo key of a witness node and whether
+// the subproblem is solvable.
 //
 // The invariant maintained is e ⊆ C ∪ W for every e ∈ edges(C). A guess
 // λ of ≤ k edges succeeds if, with bag := B(λ) ∩ (W ∪ C),
@@ -84,31 +99,33 @@ func HW(h *hypergraph.Hypergraph, maxK int) (int, *decomp.Decomp) {
 //
 // The special condition holds by construction since bags are exactly
 // B(λ) ∩ (W ∪ C) and subtrees stay inside C ∪ bag.
-func (s *hdSearch) decompose(c, w hypergraph.VertexSet) string {
-	key := c.Key() + "|" + w.Key()
-	if s.done[key] {
-		if s.memo[key] == nil {
-			return ""
-		}
-		return key
+//
+// Callers may pass scratch-backed sets: both arguments are interned
+// immediately and replaced by their stable canonical copies.
+func (s *hdSearch) decompose(c, w hypergraph.VertexSet) (uint64, bool) {
+	cid, c, _ := s.intern.Intern(c)
+	wid, w, _ := s.intern.Intern(w)
+	key := hypergraph.PairKey(cid, wid)
+	if n, done := s.memo[key]; done {
+		return key, n != nil
 	}
-	s.done[key] = true
-	scope := c.Union(w)
-	// Candidate edges must contribute vertices inside W ∪ C.
-	var candidates []int
-	for e := 0; e < s.h.NumEdges(); e++ {
-		if s.h.Edge(e).Intersects(scope) {
+	// Candidate edges must contribute vertices inside W ∪ C; edges that
+	// intersect C come first — they create progress. The two ascending
+	// passes reproduce the historical sorted order exactly.
+	s.scope = s.scope.CopyFrom(w).UnionInPlace(c)
+	s.ebuf = s.h.EdgesIntersectingSet(s.scope, s.ebuf)
+	candidates := make([]int, 0, s.ebuf.Count())
+	s.ebuf.ForEach(func(e int) bool {
+		if s.h.Edge(e).Intersects(c) {
 			candidates = append(candidates, e)
 		}
-	}
-	// Prefer edges that intersect C: they create progress.
-	sort.Slice(candidates, func(i, j int) bool {
-		ci := s.h.Edge(candidates[i]).Intersects(c)
-		cj := s.h.Edge(candidates[j]).Intersects(c)
-		if ci != cj {
-			return ci
+		return true
+	})
+	s.ebuf.ForEach(func(e int) bool {
+		if !s.h.Edge(e).Intersects(c) {
+			candidates = append(candidates, e)
 		}
-		return candidates[i] < candidates[j]
+		return true
 	})
 
 	lambda := make([]int, 0, s.k)
@@ -133,31 +150,38 @@ func (s *hdSearch) decompose(c, w hypergraph.VertexSet) string {
 	}
 	node := try(0)
 	s.memo[key] = node
-	if node == nil {
-		return ""
-	}
-	return key
+	return key, node != nil
 }
 
-// check tests one guess λ for subproblem (C, W).
+// check tests one guess λ for subproblem (C, W). The rejection path — the
+// overwhelming majority of calls — runs entirely on scratch buffers.
 func (s *hdSearch) check(c, w hypergraph.VertexSet, lambda []int) *hdNode {
-	b := s.h.UnionOfEdges(lambda)
-	bag := b.Intersect(w.Union(c))
-	if !w.IsSubsetOf(bag) {
+	// bag := B(λ) ∩ (W ∪ C), on scratch.
+	s.b = s.b.Reset()
+	for _, e := range lambda {
+		s.b = s.b.UnionInPlace(s.h.Edge(e))
+	}
+	s.bag = s.bag.CopyFrom(w).UnionInPlace(c).IntersectInPlace(s.b)
+	if !w.IsSubsetOf(s.bag) {
 		return nil
 	}
-	if !bag.Intersects(c) {
+	if !s.bag.Intersects(c) {
 		return nil
 	}
-	var childKeys []string
+	bag := s.bag.Clone() // survives recursion and lands in the node
+	var childKeys []uint64
 	for _, comp := range s.h.ComponentsOf(bag, c) {
-		// Connector: bag vertices on edges touching the child component.
-		wc := hypergraph.NewVertexSet(s.h.NumVertices())
-		for _, e := range s.h.EdgesIntersecting(comp) {
-			wc = wc.UnionInPlace(s.h.Edge(e).Intersect(bag))
-		}
-		ck := s.decompose(comp, wc)
-		if ck == "" {
+		// Connector: bag vertices on edges touching the child component,
+		// i.e. (⋃ edges(C')) ∩ bag.
+		s.ebuf = s.h.EdgesIntersectingSet(comp, s.ebuf)
+		s.wc = s.wc.Reset()
+		s.ebuf.ForEach(func(e int) bool {
+			s.wc = s.wc.UnionInPlace(s.h.Edge(e))
+			return true
+		})
+		s.wc = s.wc.IntersectInPlace(bag)
+		ck, ok := s.decompose(comp, s.wc)
+		if !ok {
 			return nil
 		}
 		childKeys = append(childKeys, ck)
@@ -166,7 +190,7 @@ func (s *hdSearch) check(c, w hypergraph.VertexSet, lambda []int) *hdNode {
 }
 
 // build materializes the memoized witness tree into d under parent.
-func (s *hdSearch) build(d *decomp.Decomp, parent int, key string) {
+func (s *hdSearch) build(d *decomp.Decomp, parent int, key uint64) {
 	n := s.memo[key]
 	cov := cover.Fractional{}
 	for _, e := range n.lambda {

@@ -27,7 +27,7 @@ type FHDOptions struct {
 type fhdNode struct {
 	bag      hypergraph.VertexSet
 	cov      cover.Fractional // over augmented edge indices
-	children []string
+	children []uint64
 }
 
 type fhdSearch struct {
@@ -35,8 +35,12 @@ type fhdSearch struct {
 	aug        *Augmented
 	k          *big.Rat
 	maxSupport int
-	memo       map[string]*fhdNode
-	done       map[string]bool
+	intern     hypergraph.Interner
+	memo       map[uint64]*fhdNode // presence = solved; nil = known failure
+
+	// Scratch buffers; each is consumed before any recursive call.
+	scope, wc, b hypergraph.VertexSet
+	ebuf         hypergraph.EdgeSet
 }
 
 // CheckFHD decides Check(FHD,k) — is fhw(h) ≤ k? — using the reduction of
@@ -82,10 +86,14 @@ func CheckFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions) (*decomp.Dec
 	aug := Augment(h, subs)
 	s := &fhdSearch{
 		orig: h, aug: aug, k: k, maxSupport: maxSupport,
-		memo: map[string]*fhdNode{}, done: map[string]bool{},
+		memo:  map[uint64]*fhdNode{},
+		scope: hypergraph.NewVertexSet(h.NumVertices()),
+		wc:    hypergraph.NewVertexSet(h.NumVertices()),
+		b:     hypergraph.NewVertexSet(h.NumVertices()),
+		ebuf:  hypergraph.NewEdgeSet(aug.H.NumEdges()),
 	}
-	key := s.decompose(h.Vertices(), hypergraph.NewVertexSet(h.NumVertices()))
-	if key == "" {
+	key, ok := s.decompose(h.Vertices(), hypergraph.NewVertexSet(h.NumVertices()))
+	if !ok {
 		return nil, nil
 	}
 	augDecomp := decomp.New(aug.H)
@@ -102,25 +110,27 @@ func ratCeil(r *big.Rat) int {
 	return int(q.Int64()) + 1
 }
 
-func (s *fhdSearch) decompose(c, w hypergraph.VertexSet) string {
-	key := c.Key() + "|" + w.Key()
-	if s.done[key] {
-		if s.memo[key] == nil {
-			return ""
-		}
-		return key
+func (s *fhdSearch) decompose(c, w hypergraph.VertexSet) (uint64, bool) {
+	cid, c, _ := s.intern.Intern(c)
+	wid, w, _ := s.intern.Intern(w)
+	key := hypergraph.PairKey(cid, wid)
+	if n, done := s.memo[key]; done {
+		return key, n != nil
 	}
-	s.done[key] = true
-	scope := c.Union(w)
 	// Candidates: augmented edges entirely inside W ∪ C that intersect C
-	// or cover part of W (strict bags B = ⋃S must stay inside W ∪ C).
+	// or cover part of W (strict bags B = ⋃S must stay inside W ∪ C). The
+	// incidence index narrows the scan to edges intersecting the scope;
+	// the subset test rules out the rest.
+	s.scope = s.scope.CopyFrom(w).UnionInPlace(c)
+	s.ebuf = s.aug.H.EdgesIntersectingSet(s.scope, s.ebuf)
 	var candidates []int
-	for e := 0; e < s.aug.H.NumEdges(); e++ {
-		es := s.aug.H.Edge(e)
-		if es.IsSubsetOf(scope) && es.Intersects(scope) {
+	scope := s.scope
+	s.ebuf.ForEach(func(e int) bool {
+		if s.aug.H.Edge(e).IsSubsetOf(scope) {
 			candidates = append(candidates, e)
 		}
-	}
+		return true
+	})
 	chosen := make([]int, 0, s.maxSupport)
 	var try func(start int) *fhdNode
 	try = func(start int) *fhdNode {
@@ -143,34 +153,39 @@ func (s *fhdSearch) decompose(c, w hypergraph.VertexSet) string {
 	}
 	node := try(0)
 	s.memo[key] = node
-	if node == nil {
-		return ""
-	}
-	return key
+	return key, node != nil
 }
 
 func (s *fhdSearch) check(c, w hypergraph.VertexSet, chosen []int) *fhdNode {
-	bag := s.aug.H.UnionOfEdges(chosen)
-	if !w.IsSubsetOf(bag) || !bag.Intersects(c) {
+	// B = ⋃S on scratch; reject cheaply before materializing the bag.
+	s.b = s.b.Reset()
+	for _, e := range chosen {
+		s.b = s.b.UnionInPlace(s.aug.H.Edge(e))
+	}
+	if !w.IsSubsetOf(s.b) || !s.b.Intersects(c) {
 		return nil
 	}
+	bag := s.b.Clone()
 	// Fractional cover of the bag by the chosen edges with weight ≤ k
 	// (ρ*(H_λu) ≤ k in the terms of Theorem 5.22), solved exactly.
 	gamma := s.coverWithin(bag, chosen)
 	if gamma == nil {
 		return nil
 	}
-	var childKeys []string
+	var childKeys []uint64
 	// Components and connectors are computed in the original hypergraph:
 	// subedges are subsets of original edges, so [bag]-connectivity is
 	// unchanged and the original edges dominate the connectors.
 	for _, comp := range s.orig.ComponentsOf(bag, c) {
-		wc := hypergraph.NewVertexSet(s.orig.NumVertices())
-		for _, e := range s.orig.EdgesIntersecting(comp) {
-			wc = wc.UnionInPlace(s.orig.Edge(e).Intersect(bag))
-		}
-		ck := s.decompose(comp, wc)
-		if ck == "" {
+		s.ebuf = s.orig.EdgesIntersectingSet(comp, s.ebuf)
+		s.wc = s.wc.Reset()
+		s.ebuf.ForEach(func(e int) bool {
+			s.wc = s.wc.UnionInPlace(s.orig.Edge(e))
+			return true
+		})
+		s.wc = s.wc.IntersectInPlace(bag)
+		ck, ok := s.decompose(comp, s.wc)
+		if !ok {
 			return nil
 		}
 		childKeys = append(childKeys, ck)
@@ -179,46 +194,23 @@ func (s *fhdSearch) check(c, w hypergraph.VertexSet, chosen []int) *fhdNode {
 }
 
 // coverWithin solves min Σ γ(e) over e ∈ chosen subject to covering bag,
-// and returns the weights if the optimum is ≤ k, nil otherwise.
+// and returns the weights if the optimum is ≤ k, nil otherwise. The LP
+// runs in dual ≤-form (no artificials, no phase 1; see cover.SolveCoverLP).
 func (s *fhdSearch) coverWithin(bag hypergraph.VertexSet, chosen []int) cover.Fractional {
-	p := lp.NewProblem(len(chosen))
-	for j := range chosen {
-		p.SetObjective(j, lp.RI(1))
-	}
-	feasible := true
-	bag.ForEach(func(v int) bool {
-		coef := make([]*big.Rat, len(chosen))
-		any := false
-		for j, e := range chosen {
-			if s.aug.H.Edge(e).Has(v) {
-				coef[j] = lp.RI(1)
-				any = true
-			}
-		}
-		if !any {
-			feasible = false
-			return false
-		}
-		p.AddConstraint(coef, lp.GE, lp.RI(1))
-		return true
-	})
-	if !feasible {
-		return nil
-	}
-	sol, err := p.Solve()
-	if err != nil || sol.Status != lp.Optimal || sol.Value.Cmp(s.k) > 0 {
+	w, x := cover.SolveCoverLP(s.aug.H, chosen, bag)
+	if w == nil || w.Cmp(s.k) > 0 {
 		return nil
 	}
 	gamma := cover.Fractional{}
 	for j, e := range chosen {
-		if sol.X[j].Sign() > 0 {
-			gamma[e] = sol.X[j]
+		if x[j] != nil && x[j].Sign() > 0 {
+			gamma[e] = x[j]
 		}
 	}
 	return gamma
 }
 
-func (s *fhdSearch) build(d *decomp.Decomp, parent int, key string) {
+func (s *fhdSearch) build(d *decomp.Decomp, parent int, key uint64) {
 	n := s.memo[key]
 	id := d.AddNode(parent, n.bag, n.cov)
 	for _, ck := range n.children {

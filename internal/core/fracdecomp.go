@@ -25,15 +25,19 @@ type fdNode struct {
 	gamma    cover.Fractional     // γ covering Ws with weight ≤ k+ε−|S|
 	bag      hypergraph.VertexSet // B(γs) = V(S) ∪ Ws
 	comp     hypergraph.VertexSet // the component Cr this node was built for
-	children []string
+	children []fdKey
 }
+
+// fdKey is the interned (Cr, Wr, V(R)) subproblem key of Algorithm 3.
+type fdKey [3]int32
 
 type fdSearch struct {
 	h      *hypergraph.Hypergraph
 	target *big.Rat // k + ε
 	c      int
-	memo   map[string]*fdNode
-	done   map[string]bool
+	intern hypergraph.Interner
+	memo   map[fdKey]*fdNode // presence = solved; nil = known failure
+	ebuf   hypergraph.EdgeSet
 }
 
 // FracDecomp is the deterministic simulation of Algorithm 3,
@@ -54,9 +58,10 @@ func FracDecomp(h *hypergraph.Hypergraph, p FracDecompParams) *decomp.Decomp {
 	}
 	target := new(big.Rat).Add(p.K, p.Eps)
 	s := &fdSearch{h: h, target: target, c: p.C,
-		memo: map[string]*fdNode{}, done: map[string]bool{}}
-	key := s.fDecomp(h.Vertices(), hypergraph.NewVertexSet(h.NumVertices()), nil)
-	if key == "" {
+		memo: map[fdKey]*fdNode{},
+		ebuf: hypergraph.NewEdgeSet(h.NumEdges())}
+	key, ok := s.fDecomp(h.Vertices(), hypergraph.NewVertexSet(h.NumVertices()), nil)
+	if !ok {
 		return nil
 	}
 	d := decomp.New(h)
@@ -67,26 +72,28 @@ func FracDecomp(h *hypergraph.Hypergraph, p FracDecompParams) *decomp.Decomp {
 // fDecomp is procedure f-decomp(Cr, Wr, R) of Algorithm 3. Cr is the
 // current component, Wr the fractional part guessed at the parent, and R
 // the parent's integral edge set.
-func (s *fdSearch) fDecomp(cr, wr hypergraph.VertexSet, r []int) string {
+func (s *fdSearch) fDecomp(cr, wr hypergraph.VertexSet, r []int) (fdKey, bool) {
 	vr := s.h.UnionOfEdges(r)
-	key := cr.Key() + "|" + wr.Key() + "|" + vr.Key()
-	if s.done[key] {
-		if s.memo[key] == nil {
-			return ""
-		}
-		return key
+	cid, cr, _ := s.intern.Intern(cr)
+	wid, wr, _ := s.intern.Intern(wr)
+	vid, vr, _ := s.intern.Intern(vr)
+	key := fdKey{int32(cid), int32(wid), int32(vid)}
+	if n, done := s.memo[key]; done {
+		return key, n != nil
 	}
-	s.done[key] = true
 
 	// (1.b) candidates for Ws: vertices of V(R) ∪ Wr ∪ Cr.
-	wsScope := vr.Union(wr).Union(cr)
+	wsScope := vr.Union(wr).UnionInPlace(cr)
 	// The connector part that S ∪ Ws must cover (check 2.b): for each
 	// edge of H intersecting Cr, its intersection with V(R) ∪ Wr.
 	need := hypergraph.NewVertexSet(s.h.NumVertices())
 	vrwr := vr.Union(wr)
-	for _, e := range s.h.EdgesIntersecting(cr) {
-		need = need.UnionInPlace(s.h.Edge(e).Intersect(vrwr))
-	}
+	s.ebuf = s.h.EdgesIntersectingSet(cr, s.ebuf)
+	s.ebuf.ForEach(func(e int) bool {
+		need = need.UnionInPlace(s.h.Edge(e))
+		return true
+	})
+	need = need.IntersectInPlace(vrwr)
 
 	maxS := int(new(big.Int).Quo(s.target.Num(), s.target.Denom()).Int64())
 	var result *fdNode
@@ -120,10 +127,7 @@ func (s *fdSearch) fDecomp(cr, wr hypergraph.VertexSet, r []int) string {
 	}
 	tryS(0)
 	s.memo[key] = result
-	if result == nil {
-		return ""
-	}
-	return key
+	return key, result != nil
 }
 
 // checkGuess completes one guess of S by enumerating Ws (≤ c vertices of
@@ -182,10 +186,10 @@ func (s *fdSearch) finishGuess(cr, wr hypergraph.VertexSet, chosen []int, vs, ws
 		gamma = g
 	}
 	// (4) recurse on [V(S) ∪ Ws]-components inside Cr.
-	var childKeys []string
+	var childKeys []fdKey
 	for _, comp := range s.h.ComponentsOf(bag, cr) {
-		ck := s.fDecomp(comp, ws, chosen)
-		if ck == "" {
+		ck, ok := s.fDecomp(comp, ws, chosen)
+		if !ok {
 			return false
 		}
 		childKeys = append(childKeys, ck)
@@ -204,7 +208,7 @@ func (s *fdSearch) finishGuess(cr, wr hypergraph.VertexSet, chosen []int, vs, ws
 // build materializes the witness tree. Bags follow the witness-tree
 // definition after Algorithm 3: B_{s0} = B(γ_{s0}) at the root and
 // B_s = B(γ_s) ∩ (B_r ∪ comp(s)) elsewhere, with B(γ_s) = V(S) ∪ Ws.
-func (s *fdSearch) build(d *decomp.Decomp, parent int, key string, parentBag hypergraph.VertexSet) {
+func (s *fdSearch) build(d *decomp.Decomp, parent int, key fdKey, parentBag hypergraph.VertexSet) {
 	n := s.memo[key]
 	one := lp.RI(1)
 	cov := n.gamma.Clone()

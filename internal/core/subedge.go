@@ -27,26 +27,24 @@ type Augmented struct {
 func Augment(h *hypergraph.Hypergraph, subedges []hypergraph.VertexSet) *Augmented {
 	a := &Augmented{Orig: h, H: h.Clone()}
 	a.Origin = make([]int, h.NumEdges())
-	seen := map[string]bool{}
+	var seen hypergraph.Interner
 	for e := 0; e < h.NumEdges(); e++ {
 		a.Origin[e] = e
-		seen[h.Edge(e).Key()] = true
+		seen.Intern(h.Edge(e))
 	}
+	var ebuf hypergraph.EdgeSet
 	for _, s := range subedges {
-		if s.IsEmpty() || seen[s.Key()] {
+		if s.IsEmpty() {
 			continue
 		}
-		orig := -1
-		for e := 0; e < h.NumEdges(); e++ {
-			if s.IsSubsetOf(h.Edge(e)) {
-				orig = e
-				break
-			}
+		if _, _, isNew := seen.Intern(s); !isNew {
+			continue
 		}
+		ebuf = h.EdgesCoveringSet(s, ebuf)
+		orig := ebuf.First()
 		if orig < 0 {
 			continue // not a subedge; ignore defensively
 		}
-		seen[s.Key()] = true
 		id := a.H.AddEdgeSet(fmt.Sprintf("sub%d", a.H.NumEdges()), s)
 		for len(a.Origin) <= id {
 			a.Origin = append(a.Origin, 0)
@@ -103,20 +101,31 @@ func (a *Augmented) ToOriginal(d *decomp.Decomp) *decomp.Decomp {
 // (0 means no cap); exceeding the cap returns an error, which signals the
 // caller that H is not plausibly in a BIP class for these parameters.
 func BIPSubedges(h *hypergraph.Hypergraph, k int, maxSets int) ([]hypergraph.VertexSet, error) {
-	seen := map[string]bool{}
+	var seen hypergraph.Interner
 	var out []hypergraph.VertexSet
+	// add does not retain s: new sets are kept via their interned
+	// canonical copy, so enumeration can feed scratch buffers.
 	add := func(s hypergraph.VertexSet) error {
-		if s.IsEmpty() || seen[s.Key()] {
+		if s.IsEmpty() {
 			return nil
 		}
-		seen[s.Key()] = true
-		out = append(out, s)
+		_, canon, isNew := seen.Intern(s)
+		if !isNew {
+			return nil
+		}
+		out = append(out, canon)
 		if maxSets > 0 && len(out) > maxSets {
 			return fmt.Errorf("core: BIP subedge closure exceeds %d sets", maxSets)
 		}
 		return nil
 	}
 	m := h.NumEdges()
+	// Depth-indexed scratch for the running intersections: bufs[d] holds
+	// e ∩ (e1 ∪ … ∪ ed) entering depth d.
+	bufs := make([]hypergraph.VertexSet, k+1)
+	for i := range bufs {
+		bufs[i] = hypergraph.NewVertexSet(h.NumVertices())
+	}
 	for e := 0; e < m; e++ {
 		base := h.Edge(e)
 		// Enumerate unions of ≤ k other edges, tracking e ∩ union.
@@ -134,28 +143,31 @@ func BIPSubedges(h *hypergraph.Hypergraph, k int, maxSets int) ([]hypergraph.Ver
 				if o == e {
 					continue
 				}
-				ni := inter.Union(base.Intersect(h.Edge(o)))
+				ni := bufs[depth+1].CopyFrom(inter).UnionIntersection(base, h.Edge(o))
+				bufs[depth+1] = ni
 				if err := rec(o+1, depth+1, ni); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
-		if err := rec(0, 0, hypergraph.NewVertexSet(h.NumVertices())); err != nil {
+		if err := rec(0, 0, bufs[0].Reset()); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// addAllSubsets feeds every non-empty subset of s to add.
+// addAllSubsets feeds every non-empty subset of s to add, reusing one
+// scratch set; add must not retain its argument.
 func addAllSubsets(s hypergraph.VertexSet, add func(hypergraph.VertexSet) error) error {
 	vs := s.Vertices()
 	if len(vs) > 24 {
 		return fmt.Errorf("core: subset enumeration over %d vertices refused", len(vs))
 	}
+	var sub hypergraph.VertexSet
 	for mask := 1; mask < 1<<len(vs); mask++ {
-		sub := hypergraph.NewVertexSet(0)
+		sub = sub.Reset()
 		for b := 0; b < len(vs); b++ {
 			if mask&(1<<b) != 0 {
 				sub.Add(vs[b])
@@ -173,14 +185,17 @@ func addAllSubsets(s hypergraph.VertexSet, add func(hypergraph.VertexSet) error)
 // but |f⁺| is exponential in the rank, so this is only usable for tiny
 // hypergraphs; maxSets caps the size (0 = no cap).
 func FullSubedgeClosure(h *hypergraph.Hypergraph, maxSets int) ([]hypergraph.VertexSet, error) {
-	seen := map[string]bool{}
+	var seen hypergraph.Interner
 	var out []hypergraph.VertexSet
 	add := func(s hypergraph.VertexSet) error {
-		if s.IsEmpty() || seen[s.Key()] {
+		if s.IsEmpty() {
 			return nil
 		}
-		seen[s.Key()] = true
-		out = append(out, s)
+		_, canon, isNew := seen.Intern(s)
+		if !isNew {
+			return nil
+		}
+		out = append(out, canon)
 		if maxSets > 0 && len(out) > maxSets {
 			return fmt.Errorf("core: full subedge closure exceeds %d sets", maxSets)
 		}

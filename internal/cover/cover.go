@@ -79,6 +79,54 @@ func (f Fractional) Clone() Fractional {
 	return c
 }
 
+// SolveCoverLP computes the minimum-weight fractional cover of target by
+// the given edges: min Σ_j x_j subject to Σ_{j : v ∈ e_j} x_j ≥ 1 for all
+// v ∈ target, x ≥ 0. It returns the optimal weight and the per-edge
+// weights aligned with edges, or nil, nil if some target vertex lies in
+// none of the edges.
+//
+// The LP is solved through its dual, max Σ_v y_v with Σ_{v ∈ e_j} y_v ≤ 1:
+// the ≤-form starts the simplex on a slack basis — no artificial
+// variables, no phase 1, roughly half the exact rational pivots of the
+// primal form — and the optimal x is read off the dual slack reduced
+// costs, exact by strong duality over the rationals.
+func SolveCoverLP(h *hypergraph.Hypergraph, edges []int, target hypergraph.VertexSet) (*big.Rat, []*big.Rat) {
+	vs := target.Vertices()
+	if len(vs) == 0 {
+		return new(big.Rat), make([]*big.Rat, len(edges))
+	}
+	one := lp.RI(1)
+	p := lp.NewProblem(len(vs))
+	p.Minimize = false
+	for j := range vs {
+		p.SetObjective(j, one)
+	}
+	covered := make([]bool, len(vs))
+	coef := make([]*big.Rat, len(vs))
+	for _, e := range edges {
+		es := h.Edge(e)
+		for idx, v := range vs {
+			if es.Has(v) {
+				coef[idx] = one
+				covered[idx] = true
+			} else {
+				coef[idx] = nil
+			}
+		}
+		p.AddConstraint(coef, lp.LE, one)
+	}
+	for _, c := range covered {
+		if !c {
+			return nil, nil // uncoverable vertex: the dual is unbounded
+		}
+	}
+	s, err := p.Solve()
+	if err != nil || s.Status != lp.Optimal {
+		return nil, nil
+	}
+	return s.Value, s.RowDuals
+}
+
 // FractionalEdgeCover computes ρ*(target) in H: the minimum total weight
 // of an edge-weight function γ : E(H) → [0,1] with target ⊆ B(γ). It
 // returns the optimal weight and an optimal cover. If target cannot be
@@ -92,45 +140,26 @@ func FractionalEdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet) 
 	if target.IsEmpty() {
 		return new(big.Rat), Fractional{}
 	}
+	// Integer fast path: a single edge containing the target decides
+	// ρ* = 1 without an LP (ρ* ≥ 1 for non-empty targets).
+	if e := h.CoveringEdge(target); e >= 0 {
+		return lp.RI(1), Fractional{e: lp.RI(1)}
+	}
 	edges := h.EdgesIntersecting(target)
 	if len(edges) == 0 {
 		return nil, nil
 	}
-	p := lp.NewProblem(len(edges))
-	for j := range edges {
-		p.SetObjective(j, lp.RI(1))
-	}
-	ok := true
-	target.ForEach(func(v int) bool {
-		coef := make([]*big.Rat, len(edges))
-		any := false
-		for j, e := range edges {
-			if h.Edge(e).Has(v) {
-				coef[j] = lp.RI(1)
-				any = true
-			}
-		}
-		if !any {
-			ok = false
-			return false
-		}
-		p.AddConstraint(coef, lp.GE, lp.RI(1))
-		return true
-	})
-	if !ok {
-		return nil, nil
-	}
-	s, err := p.Solve()
-	if err != nil || s.Status != lp.Optimal {
+	w, x := SolveCoverLP(h, edges, target)
+	if w == nil {
 		return nil, nil
 	}
 	cover := Fractional{}
 	for j, e := range edges {
-		if s.X[j].Sign() > 0 {
-			cover[e] = s.X[j]
+		if x[j] != nil && x[j].Sign() > 0 {
+			cover[e] = x[j]
 		}
 	}
-	return s.Value, cover
+	return w, cover
 }
 
 // RhoStar returns ρ*(H), the fractional edge cover number of the whole
@@ -147,6 +176,12 @@ func RhoStar(h *hypergraph.Hypergraph) *big.Rat {
 func EdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet, maxSize int) []int {
 	if target.IsEmpty() {
 		return []int{}
+	}
+	// A single covering edge is always optimal (and satisfies any
+	// maxSize ≥ 1); detect it on the incidence index before the greedy
+	// bound and the branch-and-bound machinery spin up.
+	if e := h.CoveringEdge(target); e >= 0 {
+		return []int{e}
 	}
 	greedy := GreedyEdgeCover(h, target)
 	if greedy == nil && maxSize <= 0 {
@@ -167,8 +202,13 @@ func EdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet, maxSize in
 	if greedy != nil && (maxSize <= 0 || len(greedy) <= maxSize) {
 		best = greedy
 	}
-	var rec func(remaining hypergraph.VertexSet, chosen []int)
-	rec = func(remaining hypergraph.VertexSet, chosen []int) {
+	// Depth-indexed scratch: chosen is a shared prefix stack and bufs[d]
+	// holds the remaining set entering depth d+1, so the branch-and-bound
+	// allocates nothing beyond one buffer per depth level.
+	chosen := make([]int, 0, bound)
+	bufs := make([]hypergraph.VertexSet, bound)
+	var rec func(remaining hypergraph.VertexSet)
+	rec = func(remaining hypergraph.VertexSet) {
 		if remaining.IsEmpty() {
 			if best == nil || len(chosen) < len(best) {
 				best = append([]int(nil), chosen...)
@@ -185,13 +225,7 @@ func EdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet, maxSize in
 		// Branch on the uncovered vertex with the fewest candidate edges.
 		bestV, bestCnt := -1, int(^uint(0)>>1)
 		remaining.ForEach(func(v int) bool {
-			cnt := 0
-			for e := 0; e < h.NumEdges(); e++ {
-				if h.Edge(e).Has(v) {
-					cnt++
-				}
-			}
-			if cnt < bestCnt {
+			if cnt := h.IncidentEdges(v).Count(); cnt < bestCnt {
 				bestV, bestCnt = v, cnt
 			}
 			return true
@@ -199,14 +233,16 @@ func EdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet, maxSize in
 		if bestCnt == 0 {
 			return // uncoverable
 		}
-		for e := 0; e < h.NumEdges(); e++ {
-			if !h.Edge(e).Has(bestV) {
-				continue
-			}
-			rec(remaining.Diff(h.Edge(e)), append(chosen, e))
-		}
+		depth := len(chosen)
+		h.IncidentEdges(bestV).ForEach(func(e int) bool {
+			bufs[depth] = bufs[depth].CopyFrom(remaining).DiffInPlace(h.Edge(e))
+			chosen = append(chosen, e)
+			rec(bufs[depth])
+			chosen = chosen[:depth]
+			return true
+		})
 	}
-	rec(target.Clone(), nil)
+	rec(target.Clone())
 	if best != nil && maxSize > 0 && len(best) > maxSize {
 		return nil
 	}
@@ -228,19 +264,24 @@ func Rho(h *hypergraph.Hypergraph) int {
 // if target is uncoverable.
 func GreedyEdgeCover(h *hypergraph.Hypergraph, target hypergraph.VertexSet) []int {
 	remaining := target.Clone()
+	// Only edges intersecting the target can ever gain; later rounds
+	// shrink remaining, so the candidate pool only shrinks too.
+	candidates := h.EdgesIntersectingSet(target, nil)
 	var chosen []int
 	for !remaining.IsEmpty() {
 		bestE, bestGain := -1, 0
-		for e := 0; e < h.NumEdges(); e++ {
-			if g := h.Edge(e).Intersect(remaining).Count(); g > bestGain {
+		candidates.ForEach(func(e int) bool {
+			if g := h.Edge(e).IntersectionCount(remaining); g > bestGain {
 				bestE, bestGain = e, g
 			}
-		}
+			return true
+		})
 		if bestE < 0 {
 			return nil
 		}
 		chosen = append(chosen, bestE)
-		remaining = remaining.Diff(h.Edge(bestE))
+		candidates.Remove(bestE)
+		remaining = remaining.DiffInPlace(h.Edge(bestE))
 	}
 	return chosen
 }

@@ -29,17 +29,15 @@ func BoundSupport(h *hypergraph.Hypergraph, gamma Fractional) Fractional {
 		orig int
 	}
 	var edges []induced
-	seen := map[string]int{}
+	var seen hypergraph.Interner
 	for _, e := range gamma.Support() {
 		is := h.Edge(e).Intersect(b)
 		if is.IsEmpty() {
 			continue
 		}
-		k := is.Key()
-		if _, ok := seen[k]; ok {
+		if _, _, isNew := seen.Intern(is); !isNew {
 			continue
 		}
-		seen[k] = len(edges)
 		edges = append(edges, induced{set: is, orig: e})
 	}
 	// Mirror vertex universe then add the induced edges.

@@ -1,0 +1,103 @@
+package hypergraph
+
+import "testing"
+
+// Allocation-regression tests for the hot primitives of the decomposition
+// algorithms. These exist so future changes cannot silently reintroduce
+// per-call heap churn into the inner loops: Intersects, Fingerprint and
+// the buffered incidence queries must stay allocation-free, repeated
+// interning must not clone, and ComponentsOf must stay within a small
+// constant number of allocations per call.
+
+func TestIntersectsAllocFree(t *testing.T) {
+	a := SetOf(1, 5, 130)
+	b := SetOf(5, 200)
+	var sink bool
+	if n := testing.AllocsPerRun(100, func() {
+		sink = a.Intersects(b)
+	}); n != 0 {
+		t.Fatalf("Intersects allocates %v per call, want 0", n)
+	}
+	_ = sink
+}
+
+func TestFingerprintAllocFree(t *testing.T) {
+	s := SetOf(3, 64, 129, 500)
+	var sink uint64
+	if n := testing.AllocsPerRun(100, func() {
+		sink = s.Fingerprint()
+	}); n != 0 {
+		t.Fatalf("Fingerprint allocates %v per call, want 0", n)
+	}
+	_ = sink
+}
+
+func TestInternerRepeatLookupAllocFree(t *testing.T) {
+	var in Interner
+	s := SetOf(2, 7, 90)
+	in.Intern(s)
+	if n := testing.AllocsPerRun(100, func() {
+		in.Intern(s)
+	}); n != 0 {
+		t.Fatalf("repeated Intern allocates %v per call, want 0", n)
+	}
+}
+
+func TestEdgesIntersectingSetBufferedAllocFree(t *testing.T) {
+	h := Grid(4, 4)
+	c := SetOf(0, 5, 9)
+	buf := NewEdgeSet(h.NumEdges())
+	buf = h.EdgesIntersectingSet(c, buf) // builds the index outside the loop
+	if n := testing.AllocsPerRun(100, func() {
+		buf = h.EdgesIntersectingSet(c, buf)
+	}); n != 0 {
+		t.Fatalf("buffered EdgesIntersectingSet allocates %v per call, want 0", n)
+	}
+}
+
+func TestEdgesCoveringSetBufferedAllocFree(t *testing.T) {
+	h := Grid(4, 4)
+	c := h.Edge(0).Clone()
+	buf := NewEdgeSet(h.NumEdges())
+	buf = h.EdgesCoveringSet(c, buf)
+	if buf.First() < 0 {
+		t.Fatal("edge 0 should cover itself")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf = h.EdgesCoveringSet(c, buf)
+	}); n != 0 {
+		t.Fatalf("buffered EdgesCoveringSet allocates %v per call, want 0", n)
+	}
+}
+
+func TestCoveringEdgeAllocFree(t *testing.T) {
+	h := Grid(4, 4)
+	c := h.Edge(3).Clone()
+	h.CoveringEdge(c) // builds the index
+	var sink int
+	if n := testing.AllocsPerRun(100, func() {
+		sink = h.CoveringEdge(c)
+	}); n != 0 {
+		t.Fatalf("CoveringEdge allocates %v per call, want 0", n)
+	}
+	_ = sink
+}
+
+func TestComponentsOfAllocBound(t *testing.T) {
+	h := Grid(4, 4)
+	c := SetOf(5, 6, 9, 10) // the inner 2×2 block as separator
+	comps := h.ComponentsOf(c, nil)
+	if len(comps) == 0 {
+		t.Fatal("expected at least one component")
+	}
+	// The BFS itself is index-driven: per call it may allocate the free
+	// set, the visited-edge set, the stack, one set per returned component
+	// and the component slice — a small constant, independent of how many
+	// frontier expansions run.
+	bound := float64(5 + 2*len(comps))
+	if n := testing.AllocsPerRun(100, func() {
+		h.ComponentsOf(c, nil)
+	}); n > bound {
+		t.Fatalf("ComponentsOf allocates %v per call, want ≤ %v", n, bound)
+	}
+}

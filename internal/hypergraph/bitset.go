@@ -129,6 +129,80 @@ func (s VertexSet) UnionInPlace(t VertexSet) VertexSet {
 	return r
 }
 
+// CopyFrom replaces the contents of s with t, growing as needed, and
+// returns the result. Words beyond len(t) are cleared, so the result is
+// Equal to t.
+func (s VertexSet) CopyFrom(t VertexSet) VertexSet {
+	if len(t) > 0 {
+		s = s.grow(len(t) - 1)
+	}
+	copy(s, t)
+	for i := len(t); i < len(s); i++ {
+		s[i] = 0
+	}
+	return s
+}
+
+// Reset clears s in place and returns it.
+func (s VertexSet) Reset() VertexSet {
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Remove deletes v from s in place.
+func (s VertexSet) Remove(v int) {
+	if w := v / 64; w < len(s) {
+		s[w] &^= 1 << uint(v%64)
+	}
+}
+
+// IntersectInPlace replaces s with s ∩ t in place and returns s.
+func (s VertexSet) IntersectInPlace(t VertexSet) VertexSet {
+	for i := range s {
+		if i < len(t) {
+			s[i] &= t[i]
+		} else {
+			s[i] = 0
+		}
+	}
+	return s
+}
+
+// DiffInPlace replaces s with s \ t in place and returns s.
+func (s VertexSet) DiffInPlace(t VertexSet) VertexSet {
+	n := min(len(s), len(t))
+	for i := 0; i < n; i++ {
+		s[i] &^= t[i]
+	}
+	return s
+}
+
+// UnionIntersection adds a ∩ b to s in place and returns s (possibly
+// regrown), without materializing the intersection.
+func (s VertexSet) UnionIntersection(a, b VertexSet) VertexSet {
+	n := min(len(a), len(b))
+	if n > 0 {
+		s = s.grow(n - 1)
+	}
+	for i := 0; i < n; i++ {
+		s[i] |= a[i] & b[i]
+	}
+	return s
+}
+
+// IntersectionCount returns |s ∩ t| without materializing the
+// intersection.
+func (s VertexSet) IntersectionCount(t VertexSet) int {
+	n := min(len(s), len(t))
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s[i] & t[i])
+	}
+	return c
+}
+
 // IsSubsetOf reports whether every vertex of s is in t.
 func (s VertexSet) IsSubsetOf(t VertexSet) bool {
 	for i, w := range s {
@@ -207,6 +281,23 @@ func (s VertexSet) First() int {
 		}
 	}
 	return -1
+}
+
+// Fingerprint returns a 64-bit FNV-1a style hash of s. Trailing zero
+// words do not affect the hash, so sets that are Equal produce identical
+// fingerprints; distinct sets may collide, so callers needing exact
+// identity must confirm with Equal (see Interner). Allocation-free.
+func (s VertexSet) Fingerprint() uint64 {
+	n := len(s)
+	for n > 0 && s[n-1] == 0 {
+		n--
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < n; i++ {
+		h ^= s[i]
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Key returns a canonical string key for use in maps. Trailing zero words

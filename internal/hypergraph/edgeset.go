@@ -1,0 +1,70 @@
+package hypergraph
+
+// EdgeSet is a set of edge indices represented as a bitset — the edge-side
+// mirror of VertexSet. It is the currency of the incidence index: incident
+// edges of a vertex, edges(C) of a component, candidate pools of the
+// decomposition searches. The zero value is the empty set; operations
+// tolerate operands of different word lengths.
+type EdgeSet []uint64
+
+// NewEdgeSet returns an empty set with capacity for edges 0..m-1.
+func NewEdgeSet(m int) EdgeSet {
+	return make(EdgeSet, (m+63)/64)
+}
+
+// Add inserts e into s, growing the receiver as needed.
+func (s *EdgeSet) Add(e int) { (*VertexSet)(s).Add(e) }
+
+// Has reports whether e is in s.
+func (s EdgeSet) Has(e int) bool { return VertexSet(s).Has(e) }
+
+// Remove deletes e from s in place.
+func (s EdgeSet) Remove(e int) { VertexSet(s).Remove(e) }
+
+// IsEmpty reports whether s contains no edges.
+func (s EdgeSet) IsEmpty() bool { return VertexSet(s).IsEmpty() }
+
+// Count returns the number of edges in s.
+func (s EdgeSet) Count() int { return VertexSet(s).Count() }
+
+// Clone returns an independent copy of s.
+func (s EdgeSet) Clone() EdgeSet { return EdgeSet(VertexSet(s).Clone()) }
+
+// Reset clears s in place and returns it.
+func (s EdgeSet) Reset() EdgeSet { return EdgeSet(VertexSet(s).Reset()) }
+
+// CopyFrom replaces the contents of s with t, growing as needed, and
+// returns the result.
+func (s EdgeSet) CopyFrom(t EdgeSet) EdgeSet {
+	return EdgeSet(VertexSet(s).CopyFrom(VertexSet(t)))
+}
+
+// UnionInPlace adds all edges of t to s and returns s (possibly regrown).
+func (s EdgeSet) UnionInPlace(t EdgeSet) EdgeSet {
+	return EdgeSet(VertexSet(s).UnionInPlace(VertexSet(t)))
+}
+
+// IntersectInPlace replaces s with s ∩ t in place and returns s.
+func (s EdgeSet) IntersectInPlace(t EdgeSet) EdgeSet {
+	return EdgeSet(VertexSet(s).IntersectInPlace(VertexSet(t)))
+}
+
+// DiffInPlace replaces s with s \ t in place and returns s.
+func (s EdgeSet) DiffInPlace(t EdgeSet) EdgeSet {
+	return EdgeSet(VertexSet(s).DiffInPlace(VertexSet(t)))
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s EdgeSet) Intersects(t EdgeSet) bool {
+	return VertexSet(s).Intersects(VertexSet(t))
+}
+
+// First returns the smallest edge in s, or -1 if s is empty.
+func (s EdgeSet) First() int { return VertexSet(s).First() }
+
+// Edges returns the members of s in increasing order.
+func (s EdgeSet) Edges() []int { return VertexSet(s).Vertices() }
+
+// ForEach calls f for every edge in s in increasing order. If f returns
+// false, iteration stops.
+func (s EdgeSet) ForEach(f func(e int) bool) { VertexSet(s).ForEach(f) }

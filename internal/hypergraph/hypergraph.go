@@ -19,16 +19,23 @@ import (
 // parsing and display. Edges are vertex sets; the same vertex universe is
 // shared by derived hypergraphs (e.g. induced subhypergraphs), which keeps
 // vertex indices stable across transformations.
+//
+// A Hypergraph is not safe for concurrent use: even read-only accessors
+// may build the lazy incidence index (see BuildIndex). To share one
+// across goroutines, finish all mutation, call BuildIndex once, and only
+// then read concurrently.
 type Hypergraph struct {
 	vertexNames []string
 	vertexIndex map[string]int
 	edgeNames   []string
+	edgeIndex   map[string]int // first edge with each name (see EdgeIDByName)
 	edges       []VertexSet
+	inc         []EdgeSet // per-vertex incidence index, built lazily (index.go)
 }
 
 // New returns an empty hypergraph.
 func New() *Hypergraph {
-	return &Hypergraph{vertexIndex: map[string]int{}}
+	return &Hypergraph{vertexIndex: map[string]int{}, edgeIndex: map[string]int{}}
 }
 
 // NumVertices returns the number of registered vertices |V(H)|.
@@ -84,7 +91,15 @@ func (h *Hypergraph) AddEdgeSet(name string, s VertexSet) int {
 	}
 	h.edgeNames = append(h.edgeNames, name)
 	h.edges = append(h.edges, s.Clone())
-	return len(h.edges) - 1
+	e := len(h.edges) - 1
+	if h.edgeIndex == nil {
+		h.edgeIndex = map[string]int{}
+	}
+	if _, ok := h.edgeIndex[name]; !ok {
+		h.edgeIndex[name] = e
+	}
+	h.indexAddEdge(e, h.edges[e])
+	return e
 }
 
 // Vertices returns the set of all vertices of H.
@@ -107,23 +122,20 @@ func (h *Hypergraph) EdgeIDs() []int {
 
 // EdgesWithVertex returns the indices of the edges containing v.
 func (h *Hypergraph) EdgesWithVertex(v int) []int {
-	var es []int
-	for e, s := range h.edges {
-		if s.Has(v) {
-			es = append(es, e)
-		}
+	es := h.IncidentEdges(v).Edges()
+	if len(es) == 0 {
+		return nil
 	}
 	return es
 }
 
 // EdgesIntersecting returns indices of the edges e with e ∩ C ≠ ∅
-// (written edges(C) in the paper).
+// (written edges(C) in the paper). Callers on a hot path should prefer
+// EdgesIntersectingSet with a reused buffer.
 func (h *Hypergraph) EdgesIntersecting(c VertexSet) []int {
-	var es []int
-	for e, s := range h.edges {
-		if s.Intersects(c) {
-			es = append(es, e)
-		}
+	es := h.EdgesIntersectingSet(c, nil).Edges()
+	if len(es) == 0 {
+		return nil
 	}
 	return es
 }
@@ -177,17 +189,15 @@ func (h *Hypergraph) InducedSub(c VertexSet) (*Hypergraph, map[int]int) {
 	sub.vertexNames = h.vertexNames
 	sub.vertexIndex = h.vertexIndex
 	orig := map[int]int{}
-	seen := map[string]bool{}
+	var seen Interner
 	for e, s := range h.edges {
 		is := s.Intersect(c)
 		if is.IsEmpty() {
 			continue
 		}
-		k := is.Key()
-		if seen[k] {
+		if _, _, isNew := seen.Intern(is); !isNew {
 			continue
 		}
-		seen[k] = true
 		id := sub.AddEdgeSet(h.edgeNames[e], is)
 		orig[id] = e
 	}
@@ -202,6 +212,9 @@ func (h *Hypergraph) Clone() *Hypergraph {
 		c.vertexIndex[n] = i
 	}
 	c.edgeNames = append([]string(nil), h.edgeNames...)
+	for n, i := range h.edgeIndex {
+		c.edgeIndex[n] = i
+	}
 	c.edges = make([]VertexSet, len(h.edges))
 	for i, s := range h.edges {
 		c.edges[i] = s.Clone()
@@ -235,12 +248,13 @@ func (h *Hypergraph) VertexNames(s VertexSet) []string {
 	return names
 }
 
-// EdgeIDByName returns the index of the edge with the given name.
+// EdgeIDByName returns the index of the edge with the given name. When
+// several edges share a name (induced subhypergraphs reuse originator
+// names) the first is returned, matching the historical linear scan.
 func (h *Hypergraph) EdgeIDByName(name string) (int, bool) {
-	for e, n := range h.edgeNames {
-		if n == name {
-			return e, true
-		}
+	e, ok := h.edgeIndex[name]
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return e, true
 }

@@ -1,0 +1,209 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// edgesIntersectingNaive is the pre-index reference implementation.
+func edgesIntersectingNaive(h *Hypergraph, c VertexSet) []int {
+	var es []int
+	for e := 0; e < h.NumEdges(); e++ {
+		if h.Edge(e).Intersects(c) {
+			es = append(es, e)
+		}
+	}
+	return es
+}
+
+func TestIncidenceIndexMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		h := RandomBIP(rng, 10, 8, 4, 2)
+		for v := 0; v < h.NumVertices(); v++ {
+			want := []int{}
+			for e := 0; e < h.NumEdges(); e++ {
+				if h.Edge(e).Has(v) {
+					want = append(want, e)
+				}
+			}
+			got := h.IncidentEdges(v).Edges()
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("IncidentEdges(%d) = %v, want %v", v, got, want)
+			}
+		}
+		c := SetOf(rng.Intn(h.NumVertices()), rng.Intn(h.NumVertices()))
+		got := h.EdgesIntersectingSet(c, nil).Edges()
+		want := edgesIntersectingNaive(h, c)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("EdgesIntersectingSet(%v) = %v, want %v", c.Vertices(), got, want)
+		}
+	}
+}
+
+func TestIncidenceIndexTracksAddEdge(t *testing.T) {
+	h := New()
+	h.AddEdge("e1", "a", "b")
+	// Force the index to build, then grow the hypergraph.
+	if got := h.IncidentEdges(0).Edges(); fmt.Sprint(got) != "[0]" {
+		t.Fatalf("IncidentEdges(a) = %v, want [0]", got)
+	}
+	h.AddEdge("e2", "b", "c")
+	b, _ := h.VertexID("b")
+	c, _ := h.VertexID("c")
+	if got := h.IncidentEdges(b).Edges(); fmt.Sprint(got) != "[0 1]" {
+		t.Fatalf("IncidentEdges(b) = %v, want [0 1]", got)
+	}
+	if got := h.IncidentEdges(c).Edges(); fmt.Sprint(got) != "[1]" {
+		t.Fatalf("IncidentEdges(c) = %v, want [1]", got)
+	}
+	// A vertex registered after the build is in no edge.
+	d := h.Vertex("d")
+	if got := h.IncidentEdges(d).Count(); got != 0 {
+		t.Fatalf("IncidentEdges(d) = %d edges, want 0", got)
+	}
+}
+
+func TestEdgesCoveringSetAndCoveringEdge(t *testing.T) {
+	h := New()
+	h.AddEdge("e1", "a", "b", "c")
+	h.AddEdge("e2", "b", "c")
+	h.AddEdge("e3", "c", "d")
+	b, _ := h.VertexID("b")
+	c, _ := h.VertexID("c")
+	d, _ := h.VertexID("d")
+	got := h.EdgesCoveringSet(SetOf(b, c), nil).Edges()
+	if fmt.Sprint(got) != "[0 1]" {
+		t.Fatalf("EdgesCoveringSet({b,c}) = %v, want [0 1]", got)
+	}
+	if e := h.CoveringEdge(SetOf(b, c)); e != 0 {
+		t.Fatalf("CoveringEdge({b,c}) = %d, want 0", e)
+	}
+	if e := h.CoveringEdge(SetOf(b, d)); e != -1 {
+		t.Fatalf("CoveringEdge({b,d}) = %d, want -1", e)
+	}
+	// Empty set: every edge is a cover.
+	if n := h.EdgesCoveringSet(NewVertexSet(h.NumVertices()), nil).Count(); n != 3 {
+		t.Fatalf("EdgesCoveringSet(∅) has %d edges, want 3", n)
+	}
+}
+
+func TestEdgeIDByNameMatchesScan(t *testing.T) {
+	h := New()
+	h.AddEdge("e1", "a", "b")
+	h.AddEdge("e2", "b", "c")
+	h.AddEdge("e1", "c", "d") // duplicate name: first one wins
+	if e, ok := h.EdgeIDByName("e1"); !ok || e != 0 {
+		t.Fatalf("EdgeIDByName(e1) = %d, %v; want 0, true", e, ok)
+	}
+	if e, ok := h.EdgeIDByName("e2"); !ok || e != 1 {
+		t.Fatalf("EdgeIDByName(e2) = %d, %v; want 1, true", e, ok)
+	}
+	if _, ok := h.EdgeIDByName("nope"); ok {
+		t.Fatal("EdgeIDByName(nope) should not exist")
+	}
+	c := h.Clone()
+	if e, ok := c.EdgeIDByName("e2"); !ok || e != 1 {
+		t.Fatalf("clone EdgeIDByName(e2) = %d, %v; want 1, true", e, ok)
+	}
+}
+
+func TestInternerIdsAndCanonicalCopies(t *testing.T) {
+	var in Interner
+	a := SetOf(1, 2, 300)
+	b := SetOf(1, 2, 300)
+	b = append(b, 0, 0) // trailing zero words must not matter
+	c := SetOf(1, 2)
+	ida, canA, newA := in.Intern(a)
+	idb, canB, newB := in.Intern(b)
+	idc, _, newC := in.Intern(c)
+	if !newA || newB || !newC {
+		t.Fatalf("newness flags: %v %v %v, want true false true", newA, newB, newC)
+	}
+	if ida != idb || ida == idc {
+		t.Fatalf("ids: a=%d b=%d c=%d; want a==b != c", ida, idb, idc)
+	}
+	if &canA[0] != &canB[0] {
+		t.Fatal("equal sets must share one canonical copy")
+	}
+	if in.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", in.Size())
+	}
+	// The canonical copy is independent of the argument.
+	a.Add(7)
+	if _, _, isNew := in.Intern(SetOf(1, 2, 300)); isNew {
+		t.Fatal("mutating the argument must not disturb the canonical copy")
+	}
+}
+
+func TestComponentsEdgeDrivenMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		h := RandomBIP(rng, 9, 7, 3, 2)
+		n := h.NumVertices()
+		var sep VertexSet
+		for v := 0; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				sep = sep.With(v)
+			}
+		}
+		comps := h.ComponentsOf(sep, nil)
+		// Components partition V \ sep restricted to covered vertices, and
+		// are pairwise [sep]-disconnected.
+		seen := NewVertexSet(n)
+		for _, comp := range comps {
+			if comp.IsEmpty() {
+				t.Fatal("empty component")
+			}
+			if comp.Intersects(sep) {
+				t.Fatal("component intersects separator")
+			}
+			if comp.Intersects(seen) {
+				t.Fatal("components overlap")
+			}
+			seen = seen.UnionInPlace(comp)
+		}
+		for i := range comps {
+			for j := i + 1; j < len(comps); j++ {
+				for e := 0; e < h.NumEdges(); e++ {
+					out := h.Edge(e).Diff(sep)
+					if out.Intersects(comps[i]) && out.Intersects(comps[j]) {
+						t.Fatalf("edge %d connects components %d and %d", e, i, j)
+					}
+				}
+			}
+		}
+		// Maximality: every vertex outside sep occurring in some edge with
+		// another free vertex must be in a component.
+		for e := 0; e < h.NumEdges(); e++ {
+			out := h.Edge(e).Diff(sep)
+			if out.Count() >= 1 && !out.IsSubsetOf(seen) {
+				t.Fatalf("edge %d has free vertices outside all components", e)
+			}
+		}
+	}
+}
+
+func BenchmarkComponentsOf(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("grid%dx%d", n/4, 4), func(b *testing.B) {
+			h := Grid(n/4, 4)
+			sep := SetOf(1, 2, 5)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.ComponentsOf(sep, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkEdgesIntersectingSet(b *testing.B) {
+	h := Grid(6, 6)
+	c := SetOf(0, 7, 14, 21)
+	buf := NewEdgeSet(h.NumEdges())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = h.EdgesIntersectingSet(c, buf)
+	}
+}

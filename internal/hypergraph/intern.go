@@ -1,0 +1,53 @@
+package hypergraph
+
+// Interner assigns small dense integer ids to vertex sets. The
+// decomposition searches memoize (component, connector) subproblems; with
+// an Interner the memo key is a packed pair of ints instead of a
+// heap-allocated string, and the repeated-lookup path (the overwhelmingly
+// common case) allocates nothing: one fingerprint pass over the words plus
+// an exact Equal confirmation against the bucket entries.
+//
+// The zero value is ready to use.
+type Interner struct {
+	buckets map[uint64][]internEntry
+	n       int
+}
+
+type internEntry struct {
+	set VertexSet
+	id  int
+}
+
+// Intern returns the id of s, the canonical stored copy, and whether s was
+// newly added. The canonical copy is stable for the lifetime of the
+// Interner and must not be modified; callers may retain it instead of
+// cloning s (the decomposition searches rely on this to pass scratch
+// buffers in and keep canonical sets).
+func (in *Interner) Intern(s VertexSet) (int, VertexSet, bool) {
+	if in.buckets == nil {
+		in.buckets = map[uint64][]internEntry{}
+	}
+	fp := s.Fingerprint()
+	for _, e := range in.buckets[fp] {
+		if e.set.Equal(s) {
+			return e.id, e.set, false
+		}
+	}
+	c := s.Clone()
+	id := in.n
+	in.n++
+	in.buckets[fp] = append(in.buckets[fp], internEntry{set: c, id: id})
+	return id, c, true
+}
+
+// ID returns the id of s, interning it if new.
+func (in *Interner) ID(s VertexSet) int {
+	id, _, _ := in.Intern(s)
+	return id
+}
+
+// Size returns the number of distinct sets interned so far.
+func (in *Interner) Size() int { return in.n }
+
+// PairKey packs two interned ids into one uint64 memo key.
+func PairKey(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }

@@ -4,16 +4,10 @@ package hypergraph
 // vertex occurs in (paper, Section 1). The degree of an edgeless
 // hypergraph is 0.
 func (h *Hypergraph) Degree() int {
-	counts := make([]int, h.NumVertices())
-	for _, s := range h.edges {
-		s.ForEach(func(v int) bool {
-			counts[v]++
-			return true
-		})
-	}
+	h.ensureIndex()
 	d := 0
-	for _, c := range counts {
-		if c > d {
+	for _, iv := range h.inc {
+		if c := EdgeSet(iv).Count(); c > d {
 			d = c
 		}
 	}
@@ -131,22 +125,16 @@ func (h *Hypergraph) Dual() *Hypergraph {
 	for e := 0; e < h.NumEdges(); e++ {
 		d.Vertex(h.edgeNames[e])
 	}
-	seen := map[string]bool{}
+	h.ensureIndex()
+	var seen Interner
 	for v := 0; v < h.NumVertices(); v++ {
-		s := NewVertexSet(h.NumEdges())
-		for e, es := range h.edges {
-			if es.Has(v) {
-				s.Add(e)
-			}
-		}
+		s := VertexSet(h.IncidentEdges(v))
 		if s.IsEmpty() {
 			continue
 		}
-		k := s.Key()
-		if seen[k] {
+		if _, _, isNew := seen.Intern(s); !isNew {
 			continue
 		}
-		seen[k] = true
 		d.AddEdgeSet(h.vertexNames[v], s)
 	}
 	return d
@@ -157,36 +145,31 @@ func (h *Hypergraph) Dual() *Hypergraph {
 // representative, and duplicate edges are dropped. The second return value
 // maps old vertex index → representative vertex index.
 func (h *Hypergraph) Reduce() (*Hypergraph, []int) {
-	types := map[string]int{} // edge-type key -> representative
+	var types Interner // edge-type (incidence set) -> dense id
+	var reps []int     // dense id -> representative vertex in r
 	rep := make([]int, h.NumVertices())
 	r := New()
+	h.ensureIndex()
 	for v := 0; v < h.NumVertices(); v++ {
-		t := NewVertexSet(h.NumEdges())
-		for e, s := range h.edges {
-			if s.Has(v) {
-				t.Add(e)
-			}
-		}
-		k := t.Key()
-		if u, ok := types[k]; ok {
-			rep[v] = u
+		id, _, isNew := types.Intern(VertexSet(h.IncidentEdges(v)))
+		if !isNew {
+			rep[v] = reps[id]
 			continue
 		}
-		types[k] = r.Vertex(h.vertexNames[v])
-		rep[v] = types[k]
+		u := r.Vertex(h.vertexNames[v])
+		reps = append(reps, u) // ids are dense: id == len(reps)-1
+		rep[v] = u
 	}
-	seenEdges := map[string]bool{}
+	var seenEdges Interner
 	for e, s := range h.edges {
 		t := NewVertexSet(r.NumVertices())
 		s.ForEach(func(v int) bool {
 			t.Add(rep[v])
 			return true
 		})
-		k := t.Key()
-		if seenEdges[k] {
+		if _, _, isNew := seenEdges.Intern(t); !isNew {
 			continue
 		}
-		seenEdges[k] = true
 		r.AddEdgeSet(h.edgeNames[e], t)
 	}
 	return r, rep

@@ -73,6 +73,13 @@ type Solution struct {
 	Status Status
 	Value  *big.Rat   // objective value; nil unless Optimal
 	X      []*big.Rat // variable assignment; nil unless Optimal
+	// RowDuals[i] is the reduced cost of row i's slack/surplus column at
+	// the optimum, or nil for EQ rows and rows whose RHS was negated
+	// during normalization. For a maximization in ≤-form with x ≥ 0 these
+	// are exact optimal duals of the corresponding minimization — the
+	// covering LPs read their primal covers off them (strong duality
+	// holds exactly over the rationals).
+	RowDuals []*big.Rat
 }
 
 // NewProblem returns a minimization problem with n variables and zero
@@ -105,49 +112,67 @@ func (p *Problem) AddConstraint(coef []*big.Rat, rel Rel, rhs *big.Rat) {
 
 var errNoPivot = errors.New("lp: internal error: no pivot found")
 
-// tableau is a dense simplex tableau with an explicit basis.
+// tableau is a dense simplex tableau with an explicit basis. The scratch
+// rationals f, d and inv are reused across every pivot so the inner loops
+// allocate only when a value outgrows its previously seen precision —
+// big.Rat reuses its numerator/denominator storage in place.
 type tableau struct {
 	rows  [][]*big.Rat // m rows × (n+1) columns; last column is RHS
 	cost  []*big.Rat   // n+1 entries; reduced costs and (negated) objective
 	basis []int        // basis[i] = column basic in row i
 	n     int          // number of structural+slack+artificial columns
+
+	f, d, inv big.Rat // pivot scratch
 }
 
+// ratsZero returns n zero rationals backed by a single slab allocation
+// (the zero big.Rat value represents 0).
 func ratsZero(n int) []*big.Rat {
+	vals := make([]big.Rat, n)
 	r := make([]*big.Rat, n)
 	for i := range r {
-		r[i] = new(big.Rat)
+		r[i] = &vals[i]
 	}
 	return r
 }
 
-// pivot performs a pivot on (row, col).
+// pivot performs a pivot on (row, col). Zero cells of the pivot row are
+// skipped: the covering tableaus this solver sees are mostly 0/1, so the
+// skip saves the bulk of the rational arithmetic.
 func (t *tableau) pivot(row, col int) {
 	pr := t.rows[row]
-	inv := new(big.Rat).Inv(pr[col])
+	t.inv.Inv(pr[col])
 	for j := 0; j <= t.n; j++ {
-		pr[j].Mul(pr[j], inv)
+		if pr[j].Sign() != 0 {
+			pr[j].Mul(pr[j], &t.inv)
+		}
 	}
 	for i := range t.rows {
 		if i == row {
 			continue
 		}
-		f := new(big.Rat).Set(t.rows[i][col])
-		if f.Sign() == 0 {
+		if t.rows[i][col].Sign() == 0 {
 			continue
 		}
+		// Copy the factor: cell (i,col) is itself updated mid-loop.
+		t.f.Set(t.rows[i][col])
+		ri := t.rows[i]
 		for j := 0; j <= t.n; j++ {
-			var d big.Rat
-			d.Mul(f, pr[j])
-			t.rows[i][j].Sub(t.rows[i][j], &d)
+			if pr[j].Sign() == 0 {
+				continue
+			}
+			t.d.Mul(&t.f, pr[j])
+			ri[j].Sub(ri[j], &t.d)
 		}
 	}
-	f := new(big.Rat).Set(t.cost[col])
-	if f.Sign() != 0 {
+	if t.cost[col].Sign() != 0 {
+		t.f.Set(t.cost[col])
 		for j := 0; j <= t.n; j++ {
-			var d big.Rat
-			d.Mul(f, pr[j])
-			t.cost[j].Sub(t.cost[j], &d)
+			if pr[j].Sign() == 0 {
+				continue
+			}
+			t.d.Mul(&t.f, pr[j])
+			t.cost[j].Sub(t.cost[j], &t.d)
 		}
 	}
 	t.basis[row] = col
@@ -156,6 +181,7 @@ func (t *tableau) pivot(row, col int) {
 // simplex runs the simplex loop with Bland's rule until optimality or
 // unboundedness. allowed limits the eligible entering columns.
 func (t *tableau) simplex(allowed int) (Status, error) {
+	var best, ratio big.Rat
 	for {
 		// Entering column: smallest index with negative reduced cost.
 		col := -1
@@ -171,13 +197,11 @@ func (t *tableau) simplex(allowed int) (Status, error) {
 		// Leaving row: minimum ratio, ties by smallest basis index
 		// (Bland).
 		row := -1
-		var best big.Rat
 		for i := range t.rows {
 			a := t.rows[i][col]
 			if a.Sign() <= 0 {
 				continue
 			}
-			var ratio big.Rat
 			ratio.Quo(t.rows[i][t.n], a)
 			if row < 0 || ratio.Cmp(&best) < 0 ||
 				(ratio.Cmp(&best) == 0 && t.basis[i] < t.basis[row]) {
@@ -193,21 +217,41 @@ func (t *tableau) simplex(allowed int) (Status, error) {
 }
 
 // Solve solves the problem exactly. It never mutates p.
+//
+// Rows in ≤-form with non-negative RHS start basic on their slack, so a
+// pure ≤-form problem carries no artificial variables and skips phase 1
+// entirely; only ≥/= rows (after sign normalization) get artificials.
 func (p *Problem) Solve() (*Solution, error) {
 	m := len(p.Constraints)
-	// Column layout: structural vars | slack/surplus | artificial.
+	// Column layout: structural vars | slack/surplus | artificial. The
+	// normalized relation per row decides slack and artificial needs.
 	nStruct := p.NumVars
-	nSlack := 0
-	for _, c := range p.Constraints {
-		if c.Rel != EQ {
+	nSlack, nArt := 0, 0
+	rels := make([]Rel, m)
+	for i, c := range p.Constraints {
+		rel := c.Rel
+		if c.RHS != nil && c.RHS.Sign() < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rels[i] = rel
+		if rel != EQ {
 			nSlack++
 		}
+		if rel != LE {
+			nArt++
+		}
 	}
-	// Every row gets an artificial variable; phase 1 drives them out.
-	n := nStruct + nSlack + m
+	n := nStruct + nSlack + nArt
 	t := &tableau{n: n, basis: make([]int, m)}
 	t.rows = make([][]*big.Rat, m)
 	slack := nStruct
+	art := nStruct + nSlack
+	slackCol := make([]int, m)
 	for i, c := range p.Constraints {
 		row := ratsZero(n + 1)
 		rhs := new(big.Rat).Set(c.RHS)
@@ -226,67 +270,71 @@ func (p *Problem) Solve() (*Solution, error) {
 			}
 			row[j] = v
 		}
-		rel := c.Rel
-		if sign < 0 {
-			switch rel {
-			case LE:
-				rel = GE
-			case GE:
-				rel = LE
-			}
-		}
-		switch rel {
+		slackCol[i] = -1
+		switch rels[i] {
 		case LE:
 			row[slack].SetInt64(1)
+			if sign > 0 {
+				slackCol[i] = slack
+			}
+			t.basis[i] = slack
 			slack++
 		case GE:
 			row[slack].SetInt64(-1)
+			if sign > 0 {
+				slackCol[i] = slack
+			}
 			slack++
+			row[art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art].SetInt64(1)
+			t.basis[i] = art
+			art++
 		}
-		art := nStruct + nSlack + i
-		row[art].SetInt64(1)
 		row[n] = rhs
 		t.rows[i] = row
-		t.basis[i] = art
 	}
 
-	// Phase 1: minimize the sum of artificials.
-	t.cost = ratsZero(n + 1)
-	for j := nStruct + nSlack; j < n; j++ {
-		t.cost[j].SetInt64(1)
-	}
-	// Price out the basic artificials.
-	for i := range t.rows {
-		for j := 0; j <= t.n; j++ {
-			t.cost[j].Sub(t.cost[j], t.rows[i][j])
+	if nArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		t.cost = ratsZero(n + 1)
+		for j := nStruct + nSlack; j < n; j++ {
+			t.cost[j].SetInt64(1)
 		}
-	}
-	st, err := t.simplex(n)
-	if err != nil {
-		return nil, err
-	}
-	if st == Unbounded {
-		return nil, errors.New("lp: phase 1 unbounded (internal error)")
-	}
-	if t.cost[n].Sign() != 0 { // phase-1 optimum = -Σ artificials ≠ 0
-		return &Solution{Status: Infeasible}, nil
-	}
-	// Drive any artificial variables remaining in the basis out.
-	for i := range t.rows {
-		if t.basis[i] < nStruct+nSlack {
-			continue
-		}
-		pivoted := false
-		for j := 0; j < nStruct+nSlack; j++ {
-			if t.rows[i][j].Sign() != 0 {
-				t.pivot(i, j)
-				pivoted = true
-				break
+		// Price out the basic artificials.
+		for i := range t.rows {
+			if t.basis[i] < nStruct+nSlack {
+				continue
+			}
+			for j := 0; j <= t.n; j++ {
+				t.cost[j].Sub(t.cost[j], t.rows[i][j])
 			}
 		}
-		if !pivoted {
-			// Redundant row; harmless. The artificial stays basic at 0.
-			continue
+		st, err := t.simplex(n)
+		if err != nil {
+			return nil, err
+		}
+		if st == Unbounded {
+			return nil, errors.New("lp: phase 1 unbounded (internal error)")
+		}
+		if t.cost[n].Sign() != 0 { // phase-1 optimum = -Σ artificials ≠ 0
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial variables remaining in the basis out.
+		for i := range t.rows {
+			if t.basis[i] < nStruct+nSlack {
+				continue
+			}
+			for j := 0; j < nStruct+nSlack; j++ {
+				if t.rows[i][j].Sign() != 0 {
+					t.pivot(i, j)
+					break
+				}
+			}
+			// If no pivot was found the row is redundant; harmless — the
+			// artificial stays basic at 0.
 		}
 	}
 
@@ -306,14 +354,16 @@ func (p *Problem) Solve() (*Solution, error) {
 		if t.cost[b].Sign() == 0 {
 			continue
 		}
-		f := new(big.Rat).Set(t.cost[b])
+		t.f.Set(t.cost[b])
 		for j := 0; j <= t.n; j++ {
-			var d big.Rat
-			d.Mul(f, t.rows[i][j])
-			t.cost[j].Sub(t.cost[j], &d)
+			if t.rows[i][j].Sign() == 0 {
+				continue
+			}
+			t.d.Mul(&t.f, t.rows[i][j])
+			t.cost[j].Sub(t.cost[j], &t.d)
 		}
 	}
-	st, err = t.simplex(nStruct + nSlack)
+	st, err := t.simplex(nStruct + nSlack)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +380,13 @@ func (p *Problem) Solve() (*Solution, error) {
 	if !p.Minimize {
 		val.Neg(val)
 	}
-	return &Solution{Status: Optimal, Value: val, X: x}, nil
+	duals := make([]*big.Rat, m)
+	for i, sc := range slackCol {
+		if sc >= 0 {
+			duals[i] = new(big.Rat).Set(t.cost[sc])
+		}
+	}
+	return &Solution{Status: Optimal, Value: val, X: x, RowDuals: duals}, nil
 }
 
 // R returns a rational a/b; R(x) with b omitted is not supported — use
