@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
@@ -28,6 +29,7 @@ import (
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/lp"
 	"hypertree/internal/sat"
+	"hypertree/internal/solve"
 	"hypertree/internal/vc"
 )
 
@@ -387,18 +389,54 @@ func e12() {
 	fmt.Printf("  degree ≤ 3           %d (%.0f%%)\n", s.DegreeLE3, pct(s.DegreeLE3))
 	fmt.Printf("  max iwidth/3-miwidth %d/%d, max rank %d, max degree %d\n",
 		s.MaxIWidth, s.MaxMIWidth3, s.MaxRank, s.MaxDegree)
-	// hw ≤ 2 share over a sample of the corpus.
-	hwLE2, sample := 0, 0
-	for _, q := range corpus.Queries {
-		if q.H.NumEdges() > 14 {
+
+	// Corpus-scale width study through internal/solve: the serial leg
+	// mimics the pre-solve path (no preprocessing, no cache, one
+	// instance at a time); the parallel leg runs the full pipeline
+	// fanned out across GOMAXPROCS.
+	ctx := context.Background()
+	budget := 5 * time.Second
+	serialOpt := solve.Options{Measure: solve.GHW, Timeout: budget, NoPreprocess: true}
+	t0 := time.Now()
+	serial := csp.SolveCorpus(ctx, corpus, solve.NewSolver(-1, 1), serialOpt, 1)
+	tSerial := time.Since(t0)
+
+	parOpt := solve.Options{Measure: solve.GHW, Timeout: budget}
+	workers := runtime.GOMAXPROCS(0)
+	t1 := time.Now()
+	par := csp.SolveCorpus(ctx, corpus, solve.NewSolver(0, 0), parOpt, workers)
+	tPar := time.Since(t1)
+
+	hist := map[string]int{}
+	exactN, agree := 0, true
+	for i, o := range par {
+		if o.Err != nil || o.Result.Upper == nil {
+			agree = false
 			continue
 		}
-		sample++
-		if d := core.CheckHD(q.H, 2); d != nil {
-			hwLE2++
+		hist[o.Result.Upper.RatString()]++
+		if o.Result.Exact {
+			exactN++
+		}
+		so := serial[i]
+		if so.Err != nil || so.Result.Upper == nil || so.Result.Upper.Cmp(o.Result.Upper) != 0 {
+			agree = false
 		}
 	}
-	fmt.Printf("  hw ≤ 2 (sampled)     %d/%d\n", hwLE2, sample)
+	var widths []string
+	for w := range hist {
+		widths = append(widths, w)
+	}
+	sort.Strings(widths)
+	var parts []string
+	for _, w := range widths {
+		parts = append(parts, fmt.Sprintf("%s:%d", w, hist[w]))
+	}
+	fmt.Printf("  ghw histogram        %s (exact %d/%d)\n", strings.Join(parts, " "), exactN, s.Total)
+	fmt.Printf("  serial direct        %v\n", tSerial.Round(time.Millisecond))
+	fmt.Printf("  parallel solve (P=%d) %v  (%.1fx, widths agree: %v)\n",
+		workers, tPar.Round(time.Millisecond),
+		float64(tSerial)/float64(tPar), agree)
 }
 
 func e13() {

@@ -1,0 +1,322 @@
+// Command hgserve serves hypergraph width queries over HTTP/JSON through
+// the internal/solve portfolio: preprocessing pipeline, strategy race
+// under per-request budgets, fingerprint result cache.
+//
+// Usage:
+//
+//	hgserve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	        [-timeout 5s] [-max-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /width      {"hypergraph": "e1(a,b), e2(b,c)", "measure": "ghw",
+//	                  "timeout_ms": 500}
+//	                 → width bounds, exactness, strategy, cache status.
+//	                 A conjunctive query can be posted instead via
+//	                 {"query": "r(X,Y), s(Y,Z)"}.
+//	POST /decompose  same request; additionally returns the validated
+//	                 witness decomposition (text format, or GML with
+//	                 {"format": "gml"}).
+//	GET  /healthz    liveness plus serving/cache statistics.
+//
+// At most -workers solves run concurrently (GOMAXPROCS by default); up
+// to -queue further requests wait for a slot, and anything beyond that
+// is shed with 503. SIGINT/SIGTERM drain in-flight requests before
+// exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hypertree/internal/csp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/solve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "additional requests allowed to wait for a worker")
+	cacheSize := flag.Int("cache", solve.DefaultCacheSize, "result cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-request budget")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "hard cap on client-chosen budgets")
+	flag.Parse()
+
+	s := newServer(*workers, *queue, *cacheSize, *timeout, *maxTimeout)
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hgserve: listening on %s (workers=%d cache=%d)\n",
+		*addr, s.workers, *cacheSize)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "hgserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "hgserve: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hgserve: shutdown:", err)
+		os.Exit(1)
+	}
+}
+
+// server bundles the solver, the admission-control semaphore and the
+// serving statistics.
+type server struct {
+	solver     *solve.Solver
+	sem        chan struct{} // one slot per concurrently running solve
+	workers    int
+	queue      int // admitted requests allowed to wait for a slot
+	timeout    time.Duration
+	maxTimeout time.Duration
+	started    time.Time
+
+	admitted atomic.Int64 // running + waiting
+	served   atomic.Int64
+	rejected atomic.Int64
+	inflight atomic.Int64
+}
+
+func newServer(workers, queue, cacheSize int, timeout, maxTimeout time.Duration) *server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &server{
+		solver:     solve.NewSolver(cacheSizeOrDisabled(cacheSize), workers),
+		sem:        make(chan struct{}, workers),
+		workers:    workers,
+		queue:      queue,
+		timeout:    timeout,
+		maxTimeout: maxTimeout,
+		started:    time.Now(),
+	}
+}
+
+func cacheSizeOrDisabled(n int) int {
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /width", s.handleSolve(false))
+	mux.HandleFunc("POST /decompose", s.handleSolve(true))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// widthRequest is the JSON body of /width and /decompose.
+type widthRequest struct {
+	// Hypergraph in edge-list format: "e1(a,b), e2(b,c)".
+	Hypergraph string `json:"hypergraph,omitempty"`
+	// Query is an alternative input: a conjunctive query
+	// "ans(X) :- r(X,Y), s(Y,Z)." or bare body "r(X,Y), s(Y,Z)".
+	Query string `json:"query,omitempty"`
+	// Measure is "hw", "ghw" (default) or "fhw".
+	Measure string `json:"measure,omitempty"`
+	// TimeoutMS overrides the server's default budget (capped).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Format selects the witness serialization on /decompose:
+	// "text" (default) or "gml".
+	Format string `json:"format,omitempty"`
+}
+
+// widthResponse is the JSON answer.
+type widthResponse struct {
+	Measure   string `json:"measure"`
+	Vertices  int    `json:"vertices"`
+	Edges     int    `json:"edges"`
+	Lower     string `json:"lower"`
+	Upper     string `json:"upper,omitempty"`
+	Exact     bool   `json:"exact"`
+	Partial   bool   `json:"partial,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Strategy  string `json:"strategy,omitempty"`
+	Blocks    int    `json:"blocks"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+
+	Kind          string `json:"kind,omitempty"`
+	Decomposition string `json:"decomposition,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes caps request bodies: a hypergraph or CQ text a width
+// query could plausibly need fits comfortably; anything larger is a
+// client error or abuse.
+const maxBodyBytes = 8 << 20
+
+func (s *server) handleSolve(withWitness bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// Admission control first, so shed requests never pay decode or
+		// parse cost: at most `workers` solves run; up to `queue` more
+		// wait for a slot; the rest get 503.
+		if s.admitted.Add(1) > int64(s.workers+s.queue) {
+			s.admitted.Add(-1)
+			s.rejected.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server saturated"})
+			return
+		}
+		defer s.admitted.Add(-1)
+
+		var req widthRequest
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			status := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, errorResponse{"bad JSON: " + err.Error()})
+			return
+		}
+		h, err := parseInput(req)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		measure, err := solve.ParseMeasure(req.Measure)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		budget := s.timeout
+		if req.TimeoutMS > 0 {
+			budget = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+		if budget <= 0 || budget > s.maxTimeout {
+			budget = s.maxTimeout
+		}
+
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			return // client gave up while queued
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+
+		res, err := s.solver.Solve(r.Context(), h, solve.Options{
+			Measure:  measure,
+			Timeout:  budget,
+			Validate: withWitness,
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return // client went away
+			}
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
+		s.served.Add(1)
+
+		resp := widthResponse{
+			Measure:   measure.String(),
+			Vertices:  h.NumVertices(),
+			Edges:     h.NumEdges(),
+			Lower:     res.Lower.RatString(),
+			Exact:     res.Exact,
+			Partial:   res.Partial,
+			Cached:    res.FromCache,
+			Strategy:  res.Strategy,
+			Blocks:    res.Pre.Blocks,
+			ElapsedMS: res.Elapsed.Milliseconds(),
+		}
+		if res.Upper != nil {
+			resp.Upper = res.Upper.RatString()
+		}
+		if withWitness {
+			if res.Witness == nil {
+				writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+					fmt.Sprintf("no witness within budget (bounds [%s, %s])",
+						resp.Lower, resp.Upper)})
+				return
+			}
+			resp.Kind = measure.Kind().String()
+			if req.Format == "gml" {
+				resp.Decomposition = res.Witness.WriteGML()
+			} else {
+				resp.Decomposition = res.Witness.MarshalText()
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// parseInput builds the hypergraph from whichever input field is set.
+func parseInput(req widthRequest) (*hypergraph.Hypergraph, error) {
+	switch {
+	case req.Hypergraph != "" && req.Query != "":
+		return nil, fmt.Errorf(`give "hypergraph" or "query", not both`)
+	case req.Hypergraph != "":
+		return hypergraph.Parse(req.Hypergraph)
+	case req.Query != "":
+		q, err := csp.ParseCQ(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		return q.H, nil
+	}
+	return nil, fmt.Errorf(`missing "hypergraph" or "query"`)
+}
+
+type healthzResponse struct {
+	Status   string            `json:"status"`
+	UptimeS  int64             `json:"uptime_s"`
+	Workers  int               `json:"workers"`
+	Inflight int64             `json:"inflight"`
+	Served   int64             `json:"served"`
+	Rejected int64             `json:"rejected"`
+	Cache    *solve.CacheStats `json:"cache,omitempty"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := healthzResponse{
+		Status:   "ok",
+		UptimeS:  int64(time.Since(s.started).Seconds()),
+		Workers:  s.workers,
+		Inflight: s.inflight.Load(),
+		Served:   s.served.Load(),
+		Rejected: s.rejected.Load(),
+	}
+	if c := s.solver.Cache(); c != nil {
+		st := c.Stats()
+		resp.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(2, 8, 128, 5*time.Second, 10*time.Second).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, widthResponse) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var wr widthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	return resp, wr
+}
+
+// TestWidthEndpoint is the smoke test CI runs: one /width request must
+// return 200 with the correct exact width.
+func TestWidthEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, wr := post(t, ts, "/width", widthRequest{
+		Hypergraph: "e1(a,b), e2(b,c), e3(c,a)", // triangle: ghw = fhw via 3/2... ghw = 2
+		Measure:    "ghw",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !wr.Exact || wr.Upper != "2" || wr.Lower != "2" {
+		t.Fatalf("triangle ghw: %+v", wr)
+	}
+	// Repeat: must come from the cache.
+	_, wr2 := post(t, ts, "/width", widthRequest{
+		Hypergraph: "e1(a,b), e2(b,c), e3(c,a)",
+		Measure:    "ghw",
+	})
+	if !wr2.Cached {
+		t.Fatalf("second identical request not cached: %+v", wr2)
+	}
+	// CQ input path and fhw.
+	resp, wr = post(t, ts, "/width", widthRequest{
+		Query:   "ans(X) :- r(X,Y), s(Y,Z), t(Z,X).",
+		Measure: "fhw",
+	})
+	if resp.StatusCode != http.StatusOK || !wr.Exact || wr.Upper != "3/2" {
+		t.Fatalf("triangle fhw via CQ: status %d, %+v", resp.StatusCode, wr)
+	}
+}
+
+func TestDecomposeEndpoint(t *testing.T) {
+	ts := testServer(t)
+	input := "e1(a,b,c), e2(c,d,e), e3(e,f,a)"
+	resp, wr := post(t, ts, "/decompose", widthRequest{Hypergraph: input, Measure: "hw"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if wr.Kind != "HD" || wr.Decomposition == "" {
+		t.Fatalf("missing witness: %+v", wr)
+	}
+	// The witness must round-trip and validate against the input.
+	h := hypergraph.MustParse(input)
+	d, err := decomp.ParseText(h, wr.Decomposition)
+	if err != nil {
+		t.Fatalf("witness does not parse: %v\n%s", err, wr.Decomposition)
+	}
+	if err := d.Validate(decomp.HD); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+	if d.Width().RatString() != wr.Upper {
+		t.Fatalf("witness width %s != reported %s", d.Width().RatString(), wr.Upper)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Workers < 1 {
+		t.Fatalf("healthz: %+v", hr)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	ts := testServer(t)
+	for name, body := range map[string]string{
+		"not json":    "{",
+		"empty":       "{}",
+		"both inputs": `{"hypergraph": "e1(a)", "query": "r(X)"}`,
+		"bad measure": `{"hypergraph": "e1(a,b)", "measure": "tw"}`,
+		"parse error": `{"hypergraph": "e1(a,"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/width", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

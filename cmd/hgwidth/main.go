@@ -6,30 +6,44 @@
 //
 // Usage:
 //
-//	hgwidth [-exact] [-heuristic] [-check k] [-show] [file]
+//	hgwidth [-measures hw,ghw,fhw] [-timeout 30s] [-no-preprocess]
+//	        [-exact] [-heuristic] [-check k] [-show] [-gml] [file]
 //
 // The hypergraph is read from the file (or stdin) in edge-list format:
-// e1(a,b,c), e2(c,d). With -exact, the exponential elimination DP
-// computes ghw and fhw exactly (≤ 24 vertices recommended); -heuristic
-// reports min-fill upper bounds for larger inputs; -check k runs the
-// polynomial Check(HD,k) / Check(GHD,k) / Check(FHD,k) procedures.
+// e1(a,b,c), e2(c,d). The default run routes every measure through the
+// internal/solve portfolio (preprocessing, strategy race, witness
+// stitching) under the -timeout budget; SIGINT cancels gracefully and
+// the bounds proven so far are still reported. With -exact, the
+// exponential elimination DP computes ghw and fhw directly (≤ 24
+// vertices recommended); -heuristic reports min-fill upper bounds;
+// -check k runs the polynomial Check(HD,k) / Check(GHD,k) / Check(FHD,k)
+// procedures.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/big"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"hypertree/internal/core"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/solve"
 )
 
 func main() {
-	exact := flag.Bool("exact", false, "compute exact ghw/fhw by the elimination DP (small inputs)")
-	heuristic := flag.Bool("heuristic", false, "report min-fill upper bounds on ghw/fhw")
+	measures := flag.String("measures", "hw,ghw,fhw", "comma-separated width measures to solve (hw, ghw, fhw)")
+	timeout := flag.Duration("timeout", 30*time.Second, "budget per measure (0 = unbounded)")
+	noPre := flag.Bool("no-preprocess", false, "disable the simplification pipeline")
+	exact := flag.Bool("exact", false, "also run the exponential elimination DP directly (small inputs)")
+	heuristic := flag.Bool("heuristic", false, "also report min-fill upper bounds on ghw/fhw")
 	check := flag.String("check", "", "width k (integer or rational p/q) to run the Check procedures at")
 	show := flag.Bool("show", false, "print the decompositions found")
 	gml := flag.Bool("gml", false, "print decompositions as GML instead of text")
@@ -48,31 +62,50 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT/SIGTERM cancel the solves; partial bounds are reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("vertices=%d edges=%d rank=%d degree=%d\n",
 		h.NumVertices(), h.NumEdges(), h.Rank(), h.Degree())
 	fmt.Printf("iwidth=%d 3-miwidth=%d acyclic=%v connected=%v\n",
 		h.IntersectionWidth(), h.MultiIntersectionWidth(3), h.IsAcyclic(), h.IsConnected())
 
-	hw, hd := core.HW(h, 6)
-	if hw > 0 {
-		fmt.Printf("hw = %d\n", hw)
-		maybeShow(*show, "HD", hd)
-	} else {
-		fmt.Println("hw > 6 (search capped)")
+	interrupted := false
+	for _, name := range strings.Split(*measures, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := solve.ParseMeasure(name)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := solve.Solve(ctx, h, solve.Options{
+			Measure:      m,
+			Timeout:      *timeout,
+			NoPreprocess: *noPre,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(m, r)
+		maybeShow(*show, strings.ToUpper(m.Kind().String()), r.Witness)
+		interrupted = interrupted || (r.Partial && ctx.Err() != nil)
 	}
 
-	if *exact {
+	if *exact && ctx.Err() == nil {
 		if h.NumVertices() > 24 {
 			fatal(fmt.Errorf("-exact limited to 24 vertices (got %d); use -heuristic", h.NumVertices()))
 		}
 		ghw, gd := core.ExactGHW(h)
-		fmt.Printf("ghw = %d (exact)\n", ghw)
+		fmt.Printf("ghw = %d (exact DP)\n", ghw)
 		maybeShow(*show, "GHD", gd)
 		fhw, fd := core.ExactFHW(h)
-		fmt.Printf("fhw = %s (exact)\n", fhw.RatString())
+		fmt.Printf("fhw = %s (exact DP)\n", fhw.RatString())
 		maybeShow(*show, "FHD", fd)
 	}
-	if *heuristic {
+	if *heuristic && ctx.Err() == nil {
 		gw, gd := core.MinFillGHD(h)
 		fmt.Printf("ghw ≤ %d (min-fill)\n", gw)
 		maybeShow(*show, "GHD", gd)
@@ -80,40 +113,82 @@ func main() {
 		fmt.Printf("fhw ≤ %s (min-fill)\n", fw.RatString())
 		maybeShow(*show, "FHD", fd)
 	}
-	if *check != "" {
-		k, ok := new(big.Rat).SetString(*check)
-		if !ok {
-			fatal(fmt.Errorf("bad -check value %q", *check))
+	if *check != "" && ctx.Err() == nil {
+		runChecks(ctx, h, *check, *show)
+	}
+	if interrupted {
+		fmt.Println("(interrupted: bounds above are partial)")
+		os.Exit(130)
+	}
+}
+
+// printResult renders one solve outcome: an exact width, a bracket, or
+// a lone lower bound.
+func printResult(m solve.Measure, r *solve.Result) {
+	state := func() string {
+		var tags []string
+		if r.Partial {
+			tags = append(tags, "partial")
 		}
-		if k.IsInt() {
-			ki := int(k.Num().Int64())
-			if d := core.CheckHD(h, ki); d != nil {
-				fmt.Printf("Check(HD,%d): yes\n", ki)
-				maybeShow(*show, "HD", d)
-			} else {
-				fmt.Printf("Check(HD,%d): no\n", ki)
-			}
-			d, err := core.CheckGHDViaBIP(h, ki, core.Options{})
-			switch {
-			case err != nil:
-				fmt.Printf("Check(GHD,%d): %v\n", ki, err)
-			case d != nil:
-				fmt.Printf("Check(GHD,%d): yes\n", ki)
-				maybeShow(*show, "GHD", d)
-			default:
-				fmt.Printf("Check(GHD,%d): no\n", ki)
-			}
+		if r.FromCache {
+			tags = append(tags, "cached")
 		}
-		d, err := core.CheckFHD(h, k, core.FHDOptions{})
+		if r.Strategy != "" {
+			tags = append(tags, r.Strategy)
+		}
+		if r.Pre.Blocks > 1 {
+			tags = append(tags, fmt.Sprintf("%d blocks", r.Pre.Blocks))
+		}
+		return strings.Join(tags, ", ")
+	}
+	switch {
+	case r.Exact:
+		fmt.Printf("%-3s = %-8s (%s, %v)\n", m, r.Upper.RatString(), state(), r.Elapsed.Round(time.Millisecond))
+	case r.Upper != nil:
+		fmt.Printf("%-3s ∈ [%s, %s] (%s, %v)\n", m, r.Lower.RatString(), r.Upper.RatString(),
+			state(), r.Elapsed.Round(time.Millisecond))
+	default:
+		fmt.Printf("%-3s ≥ %-8s (%s, %v)\n", m, r.Lower.RatString(), state(), r.Elapsed.Round(time.Millisecond))
+	}
+}
+
+// runChecks preserves the direct Check(·,k) procedures of the original
+// command.
+func runChecks(ctx context.Context, h *hypergraph.Hypergraph, check string, show bool) {
+	k, ok := new(big.Rat).SetString(check)
+	if !ok {
+		fatal(fmt.Errorf("bad -check value %q", check))
+	}
+	if k.IsInt() {
+		ki := int(k.Num().Int64())
+		if d, err := core.CheckHDCtx(ctx, h, ki); err != nil {
+			fmt.Printf("Check(HD,%d): %v\n", ki, err)
+		} else if d != nil {
+			fmt.Printf("Check(HD,%d): yes\n", ki)
+			maybeShow(show, "HD", d)
+		} else {
+			fmt.Printf("Check(HD,%d): no\n", ki)
+		}
+		d, err := core.CheckGHDViaBIPCtx(ctx, h, ki, core.Options{})
 		switch {
 		case err != nil:
-			fmt.Printf("Check(FHD,%s): %v\n", k.RatString(), err)
+			fmt.Printf("Check(GHD,%d): %v\n", ki, err)
 		case d != nil:
-			fmt.Printf("Check(FHD,%s): yes (width %s)\n", k.RatString(), d.Width().RatString())
-			maybeShow(*show, "FHD", d)
+			fmt.Printf("Check(GHD,%d): yes\n", ki)
+			maybeShow(show, "GHD", d)
 		default:
-			fmt.Printf("Check(FHD,%s): no\n", k.RatString())
+			fmt.Printf("Check(GHD,%d): no\n", ki)
 		}
+	}
+	d, err := core.CheckFHD(h, k, core.FHDOptions{})
+	switch {
+	case err != nil:
+		fmt.Printf("Check(FHD,%s): %v\n", k.RatString(), err)
+	case d != nil:
+		fmt.Printf("Check(FHD,%s): yes (width %s)\n", k.RatString(), d.Width().RatString())
+		maybeShow(show, "FHD", d)
+	default:
+		fmt.Printf("Check(FHD,%s): no\n", k.RatString())
 	}
 }
 

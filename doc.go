@@ -17,4 +17,15 @@
 // and the rational LP keep big.Rat arithmetic out of their inner loops.
 // PERFORMANCE.md documents the design and the measured speedups
 // (5–20× on the decomposition benchmarks).
+//
+// On top of the algorithms, internal/solve is the serving layer: a
+// preprocessing pipeline (empty/duplicate/subsumed edge removal, split
+// on biconnected components of the primal graph), a concurrent
+// portfolio that races clique lower bounds, iterative deepening,
+// the exact DP and min-fill upper bounds under context budgets with a
+// shared incumbent, witness stitching (decomp.Combine) and a
+// fingerprint-keyed result cache. cmd/hgserve exposes it as an
+// HTTP/JSON service (/width, /decompose, /healthz) with a worker pool
+// and per-request budgets; cmd/hgwidth and the E12 corpus experiment
+// drive it from the command line.
 package hypertree

@@ -18,7 +18,7 @@ import (
 // the practical baseline the paper's approximation guarantees are
 // measured against.
 func MinFillFHD(h *hypergraph.Hypergraph) (*big.Rat, *decomp.Decomp) {
-	d := eliminationDecomp(h, minFillOrder(h), false)
+	d := eliminationDecomp(h, minFillOrder(h, nil), false, nil)
 	if d == nil {
 		return nil, nil
 	}
@@ -28,7 +28,7 @@ func MinFillFHD(h *hypergraph.Hypergraph) (*big.Rat, *decomp.Decomp) {
 // MinFillGHD is MinFillFHD with exact integral covers per bag, yielding a
 // GHD and an upper bound on ghw(H).
 func MinFillGHD(h *hypergraph.Hypergraph) (int, *decomp.Decomp) {
-	d := eliminationDecomp(h, minFillOrder(h), true)
+	d := eliminationDecomp(h, minFillOrder(h, nil), true, nil)
 	if d == nil {
 		return -1, nil
 	}
@@ -37,8 +37,9 @@ func MinFillGHD(h *hypergraph.Hypergraph) (int, *decomp.Decomp) {
 }
 
 // minFillOrder returns an elimination ordering of the primal graph chosen
-// greedily by minimum fill-in.
-func minFillOrder(h *hypergraph.Hypergraph) []int {
+// greedily by minimum fill-in. A non-nil done channel is polled once per
+// eliminated vertex (see cancel.go).
+func minFillOrder(h *hypergraph.Hypergraph, done <-chan struct{}) []int {
 	n := h.NumVertices()
 	adj := make([]hypergraph.VertexSet, n)
 	for v, s := range h.AdjacencyMatrix() {
@@ -47,6 +48,9 @@ func minFillOrder(h *hypergraph.Hypergraph) []int {
 	eliminated := hypergraph.NewVertexSet(n)
 	order := make([]int, 0, n)
 	for len(order) < n {
+		if done != nil {
+			pollCancel(done)
+		}
 		bestV, bestFill := -1, int(^uint(0)>>1)
 		for v := 0; v < n; v++ {
 			if eliminated.Has(v) {
@@ -81,7 +85,8 @@ func minFillOrder(h *hypergraph.Hypergraph) []int {
 
 // eliminationDecomp builds the tree decomposition induced by an
 // elimination ordering and covers each bag (integrally or fractionally).
-func eliminationDecomp(h *hypergraph.Hypergraph, order []int, integral bool) *decomp.Decomp {
+// A non-nil done channel is polled once per bag cover (see cancel.go).
+func eliminationDecomp(h *hypergraph.Hypergraph, order []int, integral bool, done <-chan struct{}) *decomp.Decomp {
 	n := h.NumVertices()
 	if n == 0 || h.NumEdges() == 0 {
 		return nil
@@ -111,6 +116,9 @@ func eliminationDecomp(h *hypergraph.Hypergraph, order []int, integral bool) *de
 	d := decomp.New(h)
 	ids := make([]int, n)
 	for i := n - 1; i >= 0; i-- {
+		if done != nil {
+			pollCancel(done)
+		}
 		parent := -1
 		if i < n-1 {
 			next := i + 1

@@ -34,6 +34,12 @@ type hdSearch struct {
 	intern hypergraph.Interner
 	memo   map[uint64]*hdNode // presence = solved; nil value = known failure
 
+	// Cooperative cancellation (cancel.go): when done is non-nil,
+	// decompose polls it every pollMask+1 subproblems and unwinds the
+	// whole search with a canceled panic.
+	done  <-chan struct{}
+	steps uint32
+
 	// Scratch buffers reused across check() invocations. Each buffer is
 	// fully consumed before any recursive call, so reuse is safe.
 	scope, b, bag, wc hypergraph.VertexSet
@@ -47,12 +53,18 @@ type hdSearch struct {
 // (component, connector) subproblems; it runs in polynomial time for
 // fixed k.
 func CheckHD(h *hypergraph.Hypergraph, k int) *decomp.Decomp {
+	return checkHD(h, k, nil)
+}
+
+// checkHD is CheckHD with an optional cancellation channel; see
+// CheckHDCtx in cancel.go for the context-aware entry point.
+func checkHD(h *hypergraph.Hypergraph, k int, done <-chan struct{}) *decomp.Decomp {
 	if k <= 0 || h.NumEdges() == 0 {
 		return nil
 	}
 	n := h.NumVertices()
 	s := &hdSearch{
-		h: h, k: k, memo: map[uint64]*hdNode{},
+		h: h, k: k, done: done, memo: map[uint64]*hdNode{},
 		scope: hypergraph.NewVertexSet(n),
 		b:     hypergraph.NewVertexSet(n),
 		bag:   hypergraph.NewVertexSet(n),
@@ -103,6 +115,11 @@ func HW(h *hypergraph.Hypergraph, maxK int) (int, *decomp.Decomp) {
 // Callers may pass scratch-backed sets: both arguments are interned
 // immediately and replaced by their stable canonical copies.
 func (s *hdSearch) decompose(c, w hypergraph.VertexSet) (uint64, bool) {
+	if s.done != nil {
+		if s.steps++; s.steps&pollMask == 0 {
+			pollCancel(s.done)
+		}
+	}
 	cid, c, _ := s.intern.Intern(c)
 	wid, w, _ := s.intern.Intern(w)
 	key := hypergraph.PairKey(cid, wid)
@@ -156,6 +173,11 @@ func (s *hdSearch) decompose(c, w hypergraph.VertexSet) (uint64, bool) {
 // check tests one guess λ for subproblem (C, W). The rejection path — the
 // overwhelming majority of calls — runs entirely on scratch buffers.
 func (s *hdSearch) check(c, w hypergraph.VertexSet, lambda []int) *hdNode {
+	if s.done != nil {
+		if s.steps++; s.steps&pollMask == 0 {
+			pollCancel(s.done)
+		}
+	}
 	// bag := B(λ) ∩ (W ∪ C), on scratch.
 	s.b = s.b.Reset()
 	for _, e := range lambda {

@@ -113,28 +113,43 @@ type exactState struct {
 	memoM   map[uint64]int32
 	choiceM map[uint64]int
 
+	// Cooperative cancellation (cancel.go): polled in f().
+	stopCh <-chan struct{}
+	steps  uint32
+
 	bagScratch hypergraph.VertexSet
 }
 
-// ExactFHW computes fhw(h) exactly together with an optimal FHD. It
-// panics if h has more than 64 vertices; callers should gate on size.
-func ExactFHW(h *hypergraph.Hypergraph) (*big.Rat, *decomp.Decomp) {
-	s := newExactState(h, func(bag uint64) *big.Rat {
+// fhwBagCost returns the ρ* bag-cost oracle of the fhw DP.
+func fhwBagCost(h *hypergraph.Hypergraph) func(uint64) *big.Rat {
+	return func(bag uint64) *big.Rat {
 		w, _ := cover.FractionalEdgeCover(h, maskToSet(bag, h.NumVertices()))
 		return w
-	})
-	return s.run(false)
+	}
 }
 
-// ExactGHW computes ghw(h) exactly together with an optimal GHD.
-func ExactGHW(h *hypergraph.Hypergraph) (int, *decomp.Decomp) {
-	s := newExactState(h, func(bag uint64) *big.Rat {
+// ghwBagCost returns the ρ bag-cost oracle of the ghw DP (nil = no
+// integral cover exists).
+func ghwBagCost(h *hypergraph.Hypergraph) func(uint64) *big.Rat {
+	return func(bag uint64) *big.Rat {
 		c := cover.EdgeCover(h, maskToSet(bag, h.NumVertices()), 0)
 		if c == nil {
 			return nil
 		}
 		return lp.RI(int64(len(c)))
-	})
+	}
+}
+
+// ExactFHW computes fhw(h) exactly together with an optimal FHD. It
+// panics if h has more than 64 vertices; callers should gate on size.
+func ExactFHW(h *hypergraph.Hypergraph) (*big.Rat, *decomp.Decomp) {
+	s := newExactState(h, fhwBagCost(h))
+	return s.run(false)
+}
+
+// ExactGHW computes ghw(h) exactly together with an optimal GHD.
+func ExactGHW(h *hypergraph.Hypergraph) (int, *decomp.Decomp) {
+	s := newExactState(h, ghwBagCost(h))
 	w, d := s.run(true)
 	if w == nil {
 		return -1, nil
@@ -281,6 +296,11 @@ func (s *exactState) f(set uint64) int32 {
 	}
 	if v, ok := s.lookup(set); ok {
 		return v
+	}
+	if s.stopCh != nil {
+		if s.steps++; s.steps&pollMask == 0 {
+			pollCancel(s.stopCh)
+		}
 	}
 	minSub := infeasible
 	minV := -1

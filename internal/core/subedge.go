@@ -101,8 +101,15 @@ func (a *Augmented) ToOriginal(d *decomp.Decomp) *decomp.Decomp {
 // (0 means no cap); exceeding the cap returns an error, which signals the
 // caller that H is not plausibly in a BIP class for these parameters.
 func BIPSubedges(h *hypergraph.Hypergraph, k int, maxSets int) ([]hypergraph.VertexSet, error) {
+	return bipSubedges(h, k, maxSets, nil)
+}
+
+// bipSubedges is BIPSubedges with an optional cancellation channel,
+// polled once per branch of the union enumeration (see cancel.go).
+func bipSubedges(h *hypergraph.Hypergraph, k int, maxSets int, done <-chan struct{}) ([]hypergraph.VertexSet, error) {
 	var seen hypergraph.Interner
 	var out []hypergraph.VertexSet
+	var steps uint32
 	// add does not retain s: new sets are kept via their interned
 	// canonical copy, so enumeration can feed scratch buffers.
 	add := func(s hypergraph.VertexSet) error {
@@ -142,6 +149,11 @@ func BIPSubedges(h *hypergraph.Hypergraph, k int, maxSets int) ([]hypergraph.Ver
 			for o := start; o < m; o++ {
 				if o == e {
 					continue
+				}
+				if done != nil {
+					if steps++; steps&pollMask == 0 {
+						pollCancel(done)
+					}
 				}
 				ni := bufs[depth+1].CopyFrom(inter).UnionIntersection(base, h.Edge(o))
 				bufs[depth+1] = ni

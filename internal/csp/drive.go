@@ -1,0 +1,48 @@
+package csp
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"hypertree/internal/solve"
+)
+
+// Corpus driving through the solve subsystem: the HyperBench-style
+// study runs thousands of instances, each with a per-instance budget;
+// instances are independent, so the run fans out across a bounded
+// worker pool (GOMAXPROCS by default) while each instance's portfolio
+// additionally parallelizes over its blocks.
+
+// Outcome pairs one corpus query with its solve result.
+type Outcome struct {
+	Query  *Query
+	Result *solve.Result
+	Err    error
+}
+
+// SolveCorpus solves every query of the corpus with the given solver
+// and options, fanning out over `workers` goroutines (0 = GOMAXPROCS).
+// Outcomes are returned in corpus order. The context governs the whole
+// run: cancelling it makes the remaining instances return partial
+// results quickly.
+func SolveCorpus(ctx context.Context, c *Corpus, solver *solve.Solver, opt solve.Options, workers int) []Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Outcome, len(c.Queries))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, q := range c.Queries {
+		wg.Add(1)
+		go func(i int, q *Query) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := solver.Solve(ctx, q.H, opt)
+			out[i] = Outcome{Query: q, Result: r, Err: err}
+		}(i, q)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,51 @@
+package csp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/core"
+	"hypertree/internal/decomp"
+	"hypertree/internal/lp"
+	"hypertree/internal/solve"
+)
+
+// TestSolveCorpusMatchesDirect drives the synthetic corpus through the
+// solve subsystem and cross-checks every instance small enough for the
+// exact DP against it; all witnesses must validate.
+func TestSolveCorpusMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	corpus := SyntheticCorpus(rng, 2)
+	solver := solve.NewSolver(0, 0)
+	outs := SolveCorpus(context.Background(), corpus, solver,
+		solve.Options{Measure: solve.GHW, Validate: true}, 4)
+	if len(outs) != len(corpus.Queries) {
+		t.Fatalf("outcomes %d != queries %d", len(outs), len(corpus.Queries))
+	}
+	checked := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Query.Name, o.Err)
+		}
+		r := o.Result
+		if !r.Exact || r.Witness == nil {
+			t.Fatalf("%s: not exact (bounds [%s, %v])", o.Query.Name,
+				r.Lower.RatString(), r.Upper)
+		}
+		if err := r.Witness.Validate(decomp.GHD); err != nil {
+			t.Fatalf("%s: witness invalid: %v", o.Query.Name, err)
+		}
+		if o.Query.H.NumVertices() <= 16 {
+			want, _ := core.ExactGHW(o.Query.H)
+			if r.Upper.Cmp(lp.RI(int64(want))) != 0 {
+				t.Errorf("%s: solve says %s, exact DP says %d",
+					o.Query.Name, r.Upper.RatString(), want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instance was cross-checked against the exact DP")
+	}
+}

@@ -1,0 +1,71 @@
+package decomp
+
+import (
+	"testing"
+
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// onePart builds a single-node width-1 decomposition of a one-edge
+// sub-hypergraph extracted from h.
+func onePart(t *testing.T, h *hypergraph.Hypergraph, e int) Part {
+	t.Helper()
+	sub, vmap, emap := h.ExtractEdges([]int{e})
+	d := New(sub)
+	d.AddNode(-1, sub.Edge(0), cover.Fractional{0: lp.RI(1)})
+	return Part{D: d, VertexMap: vmap, EdgeMap: emap}
+}
+
+func TestCombineSharedVertex(t *testing.T) {
+	h := hypergraph.MustParse("e1(a,b,c), e2(c,d,e)")
+	d, err := Combine(h, []Part{onePart(t, h, 0), onePart(t, h, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(HD); err != nil {
+		t.Fatalf("stitched decomposition invalid: %v", err)
+	}
+	if got := d.Width(); got.Cmp(lp.RI(1)) != 0 {
+		t.Fatalf("width = %s, want 1", got.RatString())
+	}
+	if d.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want 2", d.NumNodes())
+	}
+}
+
+func TestCombineDisconnected(t *testing.T) {
+	h := hypergraph.MustParse("e1(a,b), e2(c,d)")
+	d, err := Combine(h, []Part{onePart(t, h, 0), onePart(t, h, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(HD); err != nil {
+		t.Fatalf("stitched decomposition invalid: %v", err)
+	}
+}
+
+func TestCombineChainOutOfOrder(t *testing.T) {
+	// Three blocks in a chain B1 -c- B2 -e- B3, supplied with the middle
+	// block last: Combine must place it in connectivity order, or vertex
+	// c (or e) would induce a disconnected node set.
+	h := hypergraph.MustParse("e1(a,b,c), e2(c,d,e), e3(e,f,g)")
+	d, err := Combine(h, []Part{onePart(t, h, 0), onePart(t, h, 2), onePart(t, h, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(HD); err != nil {
+		t.Fatalf("stitched decomposition invalid: %v", err)
+	}
+}
+
+func TestCombineEmptyPart(t *testing.T) {
+	h := hypergraph.MustParse("e1(a,b)")
+	if _, err := Combine(h, nil); err == nil {
+		t.Fatal("Combine(nil parts): want error")
+	}
+	if _, err := Combine(h, []Part{{D: New(h)}}); err == nil {
+		t.Fatal("Combine(empty part): want error")
+	}
+}

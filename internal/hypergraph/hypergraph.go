@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Hypergraph is a hypergraph with named vertices and named edges. Vertices
@@ -20,17 +22,22 @@ import (
 // shared by derived hypergraphs (e.g. induced subhypergraphs), which keeps
 // vertex indices stable across transformations.
 //
-// A Hypergraph is not safe for concurrent use: even read-only accessors
-// may build the lazy incidence index (see BuildIndex). To share one
-// across goroutines, finish all mutation, call BuildIndex once, and only
-// then read concurrently.
+// A Hypergraph follows a mutate-then-share lifecycle: mutation
+// (Vertex, AddEdge, AddEdgeSet, …) requires exclusive access, but once
+// mutation is finished the read accessors — including the ones that
+// lazily build the incidence index on first use (see BuildIndex) — are
+// safe to call from any number of goroutines concurrently: the lazy
+// build is guarded by an atomic flag and a mutex, so whichever reader
+// arrives first constructs the index exactly once.
 type Hypergraph struct {
 	vertexNames []string
 	vertexIndex map[string]int
 	edgeNames   []string
 	edgeIndex   map[string]int // first edge with each name (see EdgeIDByName)
 	edges       []VertexSet
-	inc         []EdgeSet // per-vertex incidence index, built lazily (index.go)
+	inc         []EdgeSet   // per-vertex incidence index, built lazily (index.go)
+	incReady    atomic.Bool // publishes inc to concurrent readers
+	incMu       sync.Mutex  // serializes the lazy build
 }
 
 // New returns an empty hypergraph.
@@ -202,6 +209,36 @@ func (h *Hypergraph) InducedSub(c VertexSet) (*Hypergraph, map[int]int) {
 		orig[id] = e
 	}
 	return sub, orig
+}
+
+// ExtractEdges returns a standalone hypergraph containing exactly the
+// given edges of H over a compact vertex universe: only the vertices
+// occurring in those edges are registered (keeping their names, in order
+// of first occurrence). It returns the sub-hypergraph
+// together with the vertex map (sub vertex index → H vertex index) and
+// the edge map (sub edge index → H edge index). The solve pipeline uses
+// this to hand each biconnected block to the width algorithms as a small
+// self-contained instance whose decomposition is translated back through
+// the two maps.
+func (h *Hypergraph) ExtractEdges(es []int) (*Hypergraph, []int, []int) {
+	sub := New()
+	var vmap []int
+	emap := make([]int, 0, len(es))
+	for _, e := range es {
+		s := NewVertexSet(0)
+		h.edges[e].ForEach(func(v int) bool {
+			sv, ok := sub.vertexIndex[h.vertexNames[v]]
+			if !ok {
+				sv = sub.Vertex(h.vertexNames[v])
+				vmap = append(vmap, v)
+			}
+			s.Add(sv)
+			return true
+		})
+		sub.AddEdgeSet(h.edgeNames[e], s)
+		emap = append(emap, e)
+	}
+	return sub, vmap, emap
 }
 
 // Clone returns a deep copy of H.

@@ -12,21 +12,28 @@ package hypergraph
 
 // BuildIndex forces the incidence index to exist. Logically read-only
 // accessors (ComponentsOf, Degree, EdgesIntersecting, IncidentEdges,
-// CoveringEdge, …) build it lazily on first use, which writes h.inc —
-// a Hypergraph is therefore NOT safe for concurrent readers until either
-// one of them has run or BuildIndex has been called after the last
-// mutation. Call this once before sharing h across goroutines.
+// CoveringEdge, …) build it lazily on first use; the build is guarded by
+// an atomic publish flag and a mutex, so concurrent readers racing to be
+// first construct the index exactly once and then proceed lock-free.
+// Calling BuildIndex after the last mutation is still good practice — it
+// moves the one-time cost out of the serving path — but is no longer
+// required for safety.
 func (h *Hypergraph) BuildIndex() { h.ensureIndex() }
 
-// ensureIndex (re)builds the per-vertex incidence bitsets if they are
-// missing or stale. Staleness can only arise from vertices registered
-// after the last build (AddEdgeSet keeps the edge dimension current);
-// those vertices are in no edge, so the index just grows.
+// ensureIndex builds the per-vertex incidence bitsets if they are
+// missing. The fast path is a single atomic load; the build itself runs
+// under incMu with a double-check so exactly one goroutine constructs
+// the slab. Vertices registered after the build (necessarily by a
+// mutation, which requires exclusive access) are in no edge; the read
+// accessors bounds-check against len(h.inc), and indexAddEdge grows the
+// index when such a vertex later gains edges.
 func (h *Hypergraph) ensureIndex() {
-	if h.inc != nil {
-		for len(h.inc) < len(h.vertexNames) {
-			h.inc = append(h.inc, nil)
-		}
+	if h.incReady.Load() {
+		return
+	}
+	h.incMu.Lock()
+	defer h.incMu.Unlock()
+	if h.incReady.Load() {
 		return
 	}
 	n := len(h.vertexNames)
@@ -43,13 +50,15 @@ func (h *Hypergraph) ensureIndex() {
 		})
 	}
 	h.inc = inc
+	h.incReady.Store(true)
 }
 
 // indexAddEdge incrementally records edge e with vertex set s. Called by
-// AddEdgeSet when an index exists; no-op otherwise (the index is built
-// lazily with all edges present).
+// AddEdgeSet (a mutation, so exclusive access holds) when an index
+// exists; no-op otherwise (the index is built lazily with all edges
+// present).
 func (h *Hypergraph) indexAddEdge(e int, s VertexSet) {
-	if h.inc == nil {
+	if !h.incReady.Load() {
 		return
 	}
 	for len(h.inc) < len(h.vertexNames) {

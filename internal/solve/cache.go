@@ -1,0 +1,177 @@
+package solve
+
+import (
+	"strings"
+	"sync"
+
+	"hypertree/internal/hypergraph"
+)
+
+// The result cache keys on a canonical form of the query hypergraph
+// rather than its text: vertices are relabeled in order of first
+// occurrence (scanning edges in input order, each edge ascending), every
+// edge is re-expressed as a bitset over the relabeled ids, and the
+// per-edge VertexSet fingerprints are chained into one 64-bit key — the
+// same Fingerprint machinery the search memo tables use. Repeated
+// queries and queries that differ only in vertex/edge names therefore
+// hit the same entry; detecting isomorphism under edge reordering is
+// intentionally out of scope. The exact canonical string is kept
+// alongside the fingerprint so hash collisions cannot cross-contaminate
+// entries.
+
+// Key identifies one cache slot: the canonical hypergraph, the measure,
+// and the result-shaping options (MaxK, ExactVertexLimit, NoPreprocess)
+// — two requests differing in those may legitimately get different
+// results, so they must not share an entry or an in-flight computation.
+// Validate and Timeout are deliberately excluded: only exact results are
+// cached, and an exact width does not depend on either.
+type Key struct {
+	Measure    Measure
+	FP         uint64
+	canon      string
+	maxK       int
+	exactLimit int
+	noPre      bool
+}
+
+// KeyFor computes the cache key of h under measure m with default
+// options.
+func KeyFor(m Measure, h *hypergraph.Hypergraph) Key {
+	k, _ := canonKey(Options{Measure: m}, h)
+	return k
+}
+
+// canonKey computes the key together with the canonical relabeling
+// (vertex index → canonical id, -1 for vertices in no edge) that
+// witness translation between key-equal hypergraphs needs.
+func canonKey(opt Options, h *hypergraph.Hypergraph) (Key, []int) {
+	relabel := make([]int, h.NumVertices())
+	for i := range relabel {
+		relabel[i] = -1
+	}
+	next := 0
+	var b strings.Builder
+	fp := uint64(14695981039346656037)
+	set := hypergraph.NewVertexSet(h.NumVertices())
+	for e := 0; e < h.NumEdges(); e++ {
+		set = set.Reset()
+		h.Edge(e).ForEach(func(v int) bool {
+			if relabel[v] < 0 {
+				relabel[v] = next
+				next++
+			}
+			set.Add(relabel[v])
+			return true
+		})
+		fp ^= set.Fingerprint()
+		fp *= 1099511628211
+		b.WriteString(set.Key())
+		b.WriteByte('|')
+	}
+	return Key{
+		Measure: opt.Measure, FP: fp, canon: b.String(),
+		maxK: opt.MaxK, exactLimit: opt.ExactVertexLimit, noPre: opt.NoPreprocess,
+	}, relabel
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
+}
+
+// Cache is a bounded, concurrency-safe result cache. Only exact results
+// are stored: partial results reflect the budget of the request that
+// produced them, not the instance. Eviction is FIFO.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*entry
+	fifo    []Key
+	hits    uint64
+	misses  uint64
+}
+
+// entry couples a cached result with the hypergraph and canonical
+// relabeling of the request that populated it, so a hit from a
+// key-equal but differently-named query can translate the witness onto
+// its own hypergraph.
+type entry struct {
+	res     *Result
+	h       *hypergraph.Hypergraph
+	relabel []int
+}
+
+// DefaultCacheSize bounds a Cache constructed with NewCache(0).
+const DefaultCacheSize = 4096
+
+// NewCache returns a cache holding at most max entries (0 = default).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{max: max, entries: map[Key]*entry{}}
+}
+
+// Get returns the cached result for k. The returned Result is shared:
+// callers must treat it (and its witness) as read-only. The witness
+// refers to the hypergraph of the request that populated the entry;
+// Solver.Solve translates it onto the current query's hypergraph when
+// the two differ.
+func (c *Cache) Get(k Key) (*Result, bool) {
+	e, ok := c.getEntry(k)
+	if !ok {
+		return nil, false
+	}
+	return e.res, true
+}
+
+func (c *Cache) getEntry(k Key) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// Put stores an exact result under k, evicting the oldest entries past
+// capacity. Non-exact results are ignored.
+func (c *Cache) Put(k Key, r *Result) {
+	c.putEntry(k, &entry{res: r})
+}
+
+func (c *Cache) putEntry(k Key, e *entry) {
+	if e == nil || e.res == nil || !e.res.Exact {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; !ok {
+		c.fifo = append(c.fifo, k)
+	}
+	c.entries[k] = e
+	for len(c.entries) > c.max && len(c.fifo) > 0 {
+		old := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.entries, old)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns hit/miss counters and the current size.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries)}
+}

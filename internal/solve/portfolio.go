@@ -1,0 +1,262 @@
+package solve
+
+import (
+	"context"
+	"math/big"
+	"sync"
+
+	"hypertree/internal/core"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// The portfolio races bounded strategies for one block under a shared
+// context. All strategies publish into a race struct holding the
+// incumbent bounds: lower bounds rise as deepening proves levels
+// infeasible, upper bounds fall as heuristics and exact searches find
+// witnesses, and the moment the two meet the block context is cancelled
+// so the losing strategies stop burning cycles. Which strategies run
+// depends on the measure and the block size:
+//
+//	hw:   clique lower bound, then Check(HD,k) iterative deepening from
+//	      the bound (success at level k after failures below is exact).
+//	ghw:  clique lower bound; exact elimination DP for small blocks;
+//	      min-fill GHD as a fast upper bound; Check(GHD,k)-via-BIP
+//	      iterative deepening.
+//	fhw:  fractional clique lower bound; exact elimination DP for small
+//	      blocks; min-fill FHD as a fast upper bound.
+
+// blockResult carries the outcome for one block.
+type blockResult struct {
+	lower    *big.Rat
+	upper    *big.Rat       // nil if no witness was found within budget
+	witness  *decomp.Decomp // over the block hypergraph
+	exact    bool
+	partial  bool // the budget expired before exactness
+	strategy string
+}
+
+// race is the shared incumbent state of one block's strategy race.
+type race struct {
+	mu     sync.Mutex
+	res    blockResult
+	cancel context.CancelFunc
+}
+
+// raiseLower publishes a proven lower bound.
+func (r *race) raiseLower(lb *big.Rat, strategy string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.res.exact {
+		return
+	}
+	if r.res.lower == nil || lb.Cmp(r.res.lower) > 0 {
+		r.res.lower = lb
+	}
+	r.closeIfMet(strategy)
+}
+
+// offerUpper publishes a witness of the given width.
+func (r *race) offerUpper(w *big.Rat, d *decomp.Decomp, strategy string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.res.exact {
+		return
+	}
+	if r.res.upper == nil || w.Cmp(r.res.upper) < 0 {
+		r.res.upper, r.res.witness, r.res.strategy = w, d, strategy
+	}
+	r.closeIfMet(strategy)
+}
+
+// offerExact publishes a witness proven optimal by its strategy.
+func (r *race) offerExact(w *big.Rat, d *decomp.Decomp, strategy string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.res.exact {
+		return
+	}
+	r.res.lower, r.res.upper, r.res.witness = w, w, d
+	r.res.exact, r.res.strategy = true, strategy
+	r.cancel()
+}
+
+// closeIfMet declares exactness when the bounds meet. Callers hold mu.
+func (r *race) closeIfMet(strategy string) {
+	if r.res.exact || r.res.upper == nil || r.res.lower == nil {
+		return
+	}
+	if r.res.lower.Cmp(r.res.upper) >= 0 {
+		r.res.exact = true
+		if r.res.strategy == "" {
+			r.res.strategy = strategy
+		}
+		r.cancel()
+	}
+}
+
+// snapshotLower reads the current lower bound as an int (for deepening
+// start levels).
+func (r *race) snapshotLower() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.res.lower == nil {
+		return 1
+	}
+	return ratCeilInt(r.res.lower)
+}
+
+// upperBelow reports whether the incumbent upper bound is ≤ k.
+func (r *race) upperBelow(k int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.res.upper != nil && r.res.upper.Cmp(lp.RI(int64(k))) <= 0
+}
+
+// ratCeilInt returns ⌈r⌉ as an int, at least 1.
+func ratCeilInt(r *big.Rat) int {
+	q := new(big.Int).Div(r.Num(), r.Denom())
+	k := int(q.Int64())
+	if new(big.Rat).SetInt(q).Cmp(r) < 0 {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// solveBlock runs the portfolio for one block hypergraph.
+func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options) blockResult {
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &race{cancel: cancel}
+	r.res.lower = lp.RI(1)
+
+	// Inline clique lower bound: cheap, and it gives the deepening
+	// strategies their start level.
+	nv := bh.NumVertices()
+	if nv > 0 && nv <= 64 {
+		if opt.Measure == FHW {
+			r.raiseLower(core.FHWLowerBound(bh), "clique-lb")
+		} else {
+			r.raiseLower(lp.RI(int64(core.GHWLowerBound(bh))), "clique-lb")
+		}
+	}
+
+	maxK := opt.MaxK
+	if maxK <= 0 {
+		maxK = bh.NumEdges()
+	}
+	exactLimit := opt.ExactVertexLimit
+	if exactLimit <= 0 {
+		exactLimit = defaultExactVertexLimit
+	}
+
+	var strategies []func()
+	switch opt.Measure {
+	case HW:
+		strategies = append(strategies, func() { deepenHD(bctx, bh, r, maxK) })
+	case GHW:
+		if nv <= exactLimit {
+			strategies = append(strategies, func() {
+				if w, d, err := core.ExactGHWCtx(bctx, bh); err == nil && d != nil {
+					r.offerExact(lp.RI(int64(w)), d, "exact-dp")
+				}
+			})
+		}
+		strategies = append(strategies,
+			func() {
+				if w, d, err := core.MinFillGHDCtx(bctx, bh); err == nil && d != nil {
+					r.offerUpper(lp.RI(int64(w)), d, "minfill")
+				}
+			},
+			func() { deepenGHDViaBIP(bctx, bh, r, maxK) },
+		)
+	case FHW:
+		if nv <= exactLimit {
+			strategies = append(strategies, func() {
+				if w, d, err := core.ExactFHWCtx(bctx, bh); err == nil && d != nil {
+					r.offerExact(w, d, "exact-dp")
+				}
+			})
+		}
+		strategies = append(strategies, func() {
+			if w, d, err := core.MinFillFHDCtx(bctx, bh); err == nil && d != nil {
+				r.offerUpper(w, d, "minfill")
+			}
+		})
+	}
+
+	var wg sync.WaitGroup
+	for _, st := range strategies {
+		wg.Add(1)
+		go func(st func()) {
+			defer wg.Done()
+			st()
+		}(st)
+	}
+	// Every strategy polls its context, so on expiry they all unwind
+	// within one poll interval plus at most one LP/cover solve. The
+	// select still returns the incumbent snapshot immediately on ctx
+	// expiry so that single uncancellable solve never pads the request
+	// latency; a straggler publishing into the abandoned race afterwards
+	// is harmless — its mutex outlives it and nobody reads it again.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.res.exact && ctx.Err() != nil {
+		r.res.partial = true
+	}
+	return r.res
+}
+
+// deepenHD runs Check(HD,k) iterative deepening. Every failed level is a
+// proven lower bound; the first success after failing all lower levels
+// is exact.
+func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int) {
+	for k := r.snapshotLower(); k <= maxK; k++ {
+		d, err := core.CheckHDCtx(ctx, bh, k)
+		if err != nil {
+			return
+		}
+		if d != nil {
+			r.offerExact(lp.RI(int64(k)), d, "detk")
+			return
+		}
+		r.raiseLower(lp.RI(int64(k+1)), "detk")
+		if r.upperBelow(k + 1) {
+			return // bounds met; closeIfMet already declared exactness
+		}
+	}
+}
+
+// deepenGHDViaBIP runs Check(GHD,k) iterative deepening through the
+// subedge-augmentation reduction. If the subedge closure exceeds its cap
+// the strategy retires and leaves the field to the others.
+func deepenGHDViaBIP(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int) {
+	for k := r.snapshotLower(); k <= maxK; k++ {
+		d, err := core.CheckGHDViaBIPCtx(ctx, bh, k, core.Options{})
+		if err != nil {
+			return // context done or closure cap exceeded
+		}
+		if d != nil {
+			r.offerExact(lp.RI(int64(k)), d, "bip")
+			return
+		}
+		r.raiseLower(lp.RI(int64(k+1)), "bip")
+		if r.upperBelow(k + 1) {
+			return
+		}
+	}
+}

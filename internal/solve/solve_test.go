@@ -1,0 +1,234 @@
+package solve
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hypertree/internal/core"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// fixtures returns named instances small enough for the direct exact
+// algorithms, which the portfolio must agree with.
+func fixtures() map[string]*hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(7))
+	return map[string]*hypergraph.Hypergraph{
+		"H0":        hypergraph.ExampleH0(),
+		"K4":        hypergraph.Clique(4),
+		"K5":        hypergraph.Clique(5),
+		"C6":        hypergraph.Cycle(6),
+		"C8":        hypergraph.Cycle(8),
+		"grid3x3":   hypergraph.Grid(3, 3),
+		"path5":     hypergraph.Path(5),
+		"hypercyc":  hypergraph.HyperCycle(5, 3, 1),
+		"randBIP":   hypergraph.RandomBIP(rng, 9, 6, 3, 2),
+		"twoBlocks": hypergraph.MustParse("a1(x,y), a2(y,z), a3(z,x), b1(z,u), b2(u,w), b3(w,z)"),
+		"chain":     hypergraph.MustParse("e1(a,b,c), e2(c,d,e), e3(e,f,g), e4(g,h)"),
+		"disconn":   hypergraph.MustParse("e1(a,b), e2(b,c), e3(c,a), f1(p,q), f2(q,r)"),
+		"subsumed":  hypergraph.MustParse("e1(a,b,c,d), e2(a,b), e3(c,d), e4(d,e), e5(a,b,c,d)"),
+	}
+}
+
+// TestPortfolioMatchesDirect is the acceptance gate: the portfolio must
+// return widths identical to the direct algorithms, and its witnesses
+// must validate as the measure's decomposition kind.
+func TestPortfolioMatchesDirect(t *testing.T) {
+	ctx := context.Background()
+	for name, h := range fixtures() {
+		t.Run(name, func(t *testing.T) {
+			wantHW, _ := core.HW(h, 0)
+			wantGHW, _ := core.ExactGHW(h)
+			wantFHW, _ := core.ExactFHW(h)
+
+			for _, tc := range []struct {
+				m    Measure
+				want *big.Rat
+			}{
+				{HW, ri(wantHW)},
+				{GHW, ri(wantGHW)},
+				{FHW, wantFHW},
+			} {
+				r, err := Solve(ctx, h, Options{Measure: tc.m, Validate: true})
+				if err != nil {
+					t.Fatalf("%v: %v", tc.m, err)
+				}
+				if !r.Exact {
+					t.Fatalf("%v: not exact (bounds [%s, %s], strategy %s)",
+						tc.m, r.Lower.RatString(), r.Upper.RatString(), r.Strategy)
+				}
+				if r.Upper.Cmp(tc.want) != 0 {
+					t.Errorf("%v = %s, direct algorithms say %s (strategy %s)",
+						tc.m, r.Upper.RatString(), tc.want.RatString(), r.Strategy)
+				}
+				if r.Witness == nil {
+					t.Fatalf("%v: exact result without witness", tc.m)
+				}
+				if err := r.Witness.Validate(tc.m.Kind()); err != nil {
+					t.Errorf("%v witness invalid: %v", tc.m, err)
+				}
+				if r.Witness.Width().Cmp(r.Upper) != 0 {
+					t.Errorf("%v witness width %s != upper %s",
+						tc.m, r.Witness.Width().RatString(), r.Upper.RatString())
+				}
+			}
+		})
+	}
+}
+
+// TestStitchedFromBlocks is the stitching property test: instances built
+// as chains of biconnected blocks must decompose blockwise, recombine
+// into a decomposition that validates against the original hypergraph,
+// and have width equal to the maximum over the blocks solved directly.
+func TestStitchedFromBlocks(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		// Chain 3 random blocks through articulation vertices.
+		h := hypergraph.New()
+		joint := "J0"
+		for b := 0; b < 3; b++ {
+			size := 3 + rng.Intn(3)
+			var names []string
+			names = append(names, joint)
+			for v := 0; v < size; v++ {
+				names = append(names, blockVar(b, v))
+			}
+			// A cycle through the block's vertices plus a chord.
+			for i := range names {
+				h.AddEdge("", names[i], names[(i+1)%len(names)])
+			}
+			h.AddEdge("", names[0], names[len(names)/2])
+			joint = names[len(names)-1]
+		}
+		for _, m := range []Measure{HW, GHW, FHW} {
+			r, err := Solve(ctx, h, Options{Measure: m, Validate: true})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, m, err)
+			}
+			if !r.Exact || r.Witness == nil {
+				t.Fatalf("trial %d %v: not exact", trial, m)
+			}
+			if m != HW && r.Pre.Blocks < 3 {
+				t.Errorf("trial %d %v: expected ≥ 3 blocks, got %d", trial, m, r.Pre.Blocks)
+			}
+			// Direct (unsplit, uncached) solve must agree.
+			direct, err := Solve(ctx, h, Options{Measure: m, NoPreprocess: true, Validate: true})
+			if err != nil {
+				t.Fatalf("trial %d %v direct: %v", trial, m, err)
+			}
+			if !direct.Exact || direct.Upper.Cmp(r.Upper) != 0 {
+				t.Errorf("trial %d %v: blockwise %s != direct %s",
+					trial, m, r.Upper.RatString(), direct.Upper.RatString())
+			}
+		}
+	}
+}
+
+func blockVar(b, v int) string {
+	return string(rune('A'+b)) + string(rune('a'+v))
+}
+
+// TestPreprocessInvariance checks simplification bookkeeping and that
+// removal of subsumed/duplicate edges does not change any measure.
+func TestPreprocessInvariance(t *testing.T) {
+	h := hypergraph.MustParse("e1(a,b,c), e2(a,b), e3(a,b,c), e4(c,d)")
+	p := simplify(h, GHW, false)
+	// e2 subsumed, e3 duplicate.
+	if len(p.kept) != 2 || p.removed != 2 {
+		t.Fatalf("kept=%v removed=%d, want 2 kept / 2 removed", p.kept, p.removed)
+	}
+	pHW := simplify(h, HW, false)
+	// For hw only the duplicate is dropped.
+	if len(pHW.kept) != 3 || pHW.removed != 1 {
+		t.Fatalf("hw: kept=%v removed=%d, want 3 kept / 1 removed", pHW.kept, pHW.removed)
+	}
+	for _, m := range []Measure{HW, GHW, FHW} {
+		pre, err := Solve(context.Background(), h, Options{Measure: m, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := Solve(context.Background(), h, Options{Measure: m, NoPreprocess: true, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pre.Exact || !raw.Exact || pre.Upper.Cmp(raw.Upper) != 0 {
+			t.Errorf("%v: preprocessed %s != raw %s", m, pre.Upper.RatString(), raw.Upper.RatString())
+		}
+	}
+}
+
+func TestBiconnectedSplit(t *testing.T) {
+	// Two triangles sharing exactly one vertex: two blocks.
+	h := hypergraph.MustParse("a1(x,y), a2(y,z), a3(z,x), b1(x,u), b2(u,w), b3(w,x)")
+	p := simplify(h, GHW, false)
+	if len(p.blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(p.blocks))
+	}
+	if len(p.blocks[0])+len(p.blocks[1]) != 6 {
+		t.Fatalf("edge assignment lost edges: %v", p.blocks)
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	r, err := Solve(context.Background(), hypergraph.New(), Options{Measure: GHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exact || r.Upper.Sign() != 0 {
+		t.Fatalf("empty hypergraph: want exact width 0, got [%s, %s]",
+			r.Lower.RatString(), r.Upper.RatString())
+	}
+	one := hypergraph.MustParse("e1(a,b,c)")
+	r, err = Solve(context.Background(), one, Options{Measure: HW, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exact || r.Upper.Cmp(lp.RI(1)) != 0 {
+		t.Fatalf("single edge: want hw 1, got [%s, %s]", r.Lower.RatString(), r.Upper.RatString())
+	}
+}
+
+// TestCancellation: an already-cancelled context must yield a partial
+// result quickly, never an error, with whatever bounds were free.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := hypergraph.Grid(4, 4)
+	start := time.Now()
+	r, err := (NewSolver(-1, 0)).Solve(ctx, h, Options{Measure: HW})
+	if err != nil {
+		t.Fatalf("cancelled solve errored: %v", err)
+	}
+	if !r.Partial {
+		t.Fatal("cancelled solve not marked partial")
+	}
+	if r.Lower.Sign() <= 0 {
+		t.Fatalf("partial result lost its lower bound: %s", r.Lower.RatString())
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancelled solve took %v", time.Since(start))
+	}
+}
+
+// TestTimeoutPartial: a tiny budget on a hard instance yields bounds,
+// not a hang or an error.
+func TestTimeoutPartial(t *testing.T) {
+	h := hypergraph.Grid(5, 5) // 25 vertices: beyond the exact-DP gate
+	r, err := Solve(context.Background(), h, Options{Measure: HW, Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Partial && !r.Exact {
+		t.Fatal("want partial or (surprisingly fast) exact")
+	}
+	if r.Lower.Sign() <= 0 {
+		t.Fatal("missing lower bound")
+	}
+}
+
+// ri adapts an int width to *big.Rat via the lp helper.
+func ri(k int) *big.Rat { return lp.RI(int64(k)) }
