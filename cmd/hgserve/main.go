@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hgserve [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	        [-timeout 5s] [-max-timeout 30s]
+//	        [-cache-bytes B] [-timeout 5s] [-max-timeout 30s]
 //
 // Endpoints:
 //
@@ -49,11 +49,12 @@ func main() {
 	workers := flag.Int("workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "additional requests allowed to wait for a worker")
 	cacheSize := flag.Int("cache", solve.DefaultCacheSize, "result cache entries (negative disables)")
+	cacheBytes := flag.Int64("cache-bytes", solve.DefaultCacheBytes, "approximate result cache byte budget (0 = default)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request budget")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "hard cap on client-chosen budgets")
 	flag.Parse()
 
-	s := newServer(*workers, *queue, *cacheSize, *timeout, *maxTimeout)
+	s := newServer(*workers, *queue, *cacheSize, *cacheBytes, *timeout, *maxTimeout)
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,7 +96,7 @@ type server struct {
 	inflight atomic.Int64
 }
 
-func newServer(workers, queue, cacheSize int, timeout, maxTimeout time.Duration) *server {
+func newServer(workers, queue, cacheSize int, cacheBytes int64, timeout, maxTimeout time.Duration) *server {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -103,7 +104,7 @@ func newServer(workers, queue, cacheSize int, timeout, maxTimeout time.Duration)
 		queue = 0
 	}
 	return &server{
-		solver:     solve.NewSolver(cacheSizeOrDisabled(cacheSize), workers),
+		solver:     solve.NewSolverWithCache(newCache(cacheSize, cacheBytes), workers),
 		sem:        make(chan struct{}, workers),
 		workers:    workers,
 		queue:      queue,
@@ -113,11 +114,13 @@ func newServer(workers, queue, cacheSize int, timeout, maxTimeout time.Duration)
 	}
 }
 
-func cacheSizeOrDisabled(n int) int {
-	if n < 0 {
-		return -1
+// newCache builds the result cache: entry- and byte-bounded, or nil
+// when caching is disabled with a negative size.
+func newCache(size int, bytes int64) *solve.Cache {
+	if size < 0 {
+		return nil
 	}
-	return n
+	return solve.NewCacheBytes(size, bytes)
 }
 
 func (s *server) routes() http.Handler {

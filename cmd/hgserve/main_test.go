@@ -15,7 +15,7 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(2, 8, 128, 5*time.Second, 10*time.Second).routes())
+	ts := httptest.NewServer(newServer(2, 8, 128, 0, 5*time.Second, 10*time.Second).routes())
 	t.Cleanup(ts.Close)
 	return ts
 }

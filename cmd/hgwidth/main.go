@@ -180,7 +180,7 @@ func runChecks(ctx context.Context, h *hypergraph.Hypergraph, check string, show
 			fmt.Printf("Check(GHD,%d): no\n", ki)
 		}
 	}
-	d, err := core.CheckFHD(h, k, core.FHDOptions{})
+	d, err := core.CheckFHDCtx(ctx, h, k, core.FHDOptions{})
 	switch {
 	case err != nil:
 		fmt.Printf("Check(FHD,%s): %v\n", k.RatString(), err)

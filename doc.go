@@ -11,21 +11,35 @@
 // bench_test.go regenerate every table- and figure-shaped artifact of
 // the paper (experiments E1–E14).
 //
-// The hypergraph core is incidence-indexed: per-vertex edge bitsets back
-// edges(C), [C]-components and single-edge cover detection; subproblem
-// memo keys are interned integers rather than strings; the exact-width DP
-// and the rational LP keep big.Rat arithmetic out of their inner loops.
-// PERFORMANCE.md documents the design and the measured speedups
-// (5–20× on the decomposition benchmarks).
+// The tractable Check(·,k) procedures all run on one cover-oracle
+// engine (internal/core/engine.go): a memoized top-down (component,
+// state) search that owns subproblem interning, cancellation, component
+// splitting and witness reconstruction, parameterized by an oracle that
+// chooses bag covers. The HD oracle guesses integral λ of ≤ k edges
+// (special condition by construction); the GHD oracle runs the
+// Theorem 4.11/4.15 subedge reduction with the pool generated lazily
+// per subproblem scope — original edges are tried first and subedges
+// are carved only from edges meeting the current scope, interned in a
+// shared pool — instead of materializing the closure up front; the FHD
+// oracle picks bounded supports whose exact cover LPs are memoized on
+// the interned support set; and Algorithm 3's frac-decomp oracle guesses
+// integral-plus-fractional parts with trimmed witness bags. The
+// hypergraph core underneath is incidence-indexed: per-vertex edge
+// bitsets back edges(C), [C]-components and single-edge cover
+// detection; memo keys are interned integers; the exact-width DP and
+// the rational LP keep big.Rat arithmetic out of their inner loops.
+// PERFORMANCE.md documents the design and the measured speedups.
 //
 // On top of the algorithms, internal/solve is the serving layer: a
 // preprocessing pipeline (empty/duplicate/subsumed edge removal, split
 // on biconnected components of the primal graph), a concurrent
-// portfolio that races clique lower bounds, iterative deepening,
-// the exact DP and min-fill upper bounds under context budgets with a
+// portfolio that races clique lower bounds, iterative deepening on
+// Check(HD,k)/Check(GHD,k)/Check(FHD,k) from the clique bound, the
+// exact DP and min-fill upper bounds under context budgets with a
 // shared incumbent, witness stitching (decomp.Combine) and a
-// fingerprint-keyed result cache. cmd/hgserve exposes it as an
-// HTTP/JSON service (/width, /decompose, /healthz) with a worker pool
-// and per-request budgets; cmd/hgwidth and the E12 corpus experiment
-// drive it from the command line.
+// fingerprint-keyed result cache bounded by entries and by retained
+// bytes. cmd/hgserve exposes it as an HTTP/JSON service (/width,
+// /decompose, /healthz) with a worker pool and per-request budgets;
+// cmd/hgwidth and the E12 corpus experiment drive it from the command
+// line.
 package hypertree

@@ -15,6 +15,14 @@ import (
 // clique contains at least one full hyperedge's worth of structure; by
 // Lemma 2.8 each clique must be contained in a bag of any decomposition.
 func MaximalCliques(h *hypergraph.Hypergraph) []hypergraph.VertexSet {
+	return maximalCliquesBounded(h, 0)
+}
+
+// maximalCliquesBounded is MaximalCliques truncated after limit cliques
+// (≤ 0 = unbounded). A truncated list is still usable for lower bounds:
+// every enumerated clique constrains some bag of any decomposition, so
+// dropping the tail only weakens, never unsounds, the bound.
+func maximalCliquesBounded(h *hypergraph.Hypergraph, limit int) []hypergraph.VertexSet {
 	n := h.NumVertices()
 	if n > maxExactVertices {
 		panic("core: clique enumeration limited to 64 vertices")
@@ -33,11 +41,11 @@ func MaximalCliques(h *hypergraph.Hypergraph) []hypergraph.VertexSet {
 		all |= 1 << uint(v)
 	}
 	var out []hypergraph.VertexSet
-	var bk func(r, p, x uint64)
-	bk = func(r, p, x uint64) {
+	var bk func(r, p, x uint64) bool
+	bk = func(r, p, x uint64) bool {
 		if p == 0 && x == 0 {
 			out = append(out, maskToSet(r, n))
-			return
+			return limit <= 0 || len(out) < limit
 		}
 		// Pivot: vertex of p ∪ x with most neighbours in p.
 		pivot, best := -1, -1
@@ -53,10 +61,13 @@ func MaximalCliques(h *hypergraph.Hypergraph) []hypergraph.VertexSet {
 			v := bits.TrailingZeros64(cand)
 			cand &^= 1 << uint(v)
 			vb := uint64(1) << uint(v)
-			bk(r|vb, p&adj[v], x&adj[v])
+			if !bk(r|vb, p&adj[v], x&adj[v]) {
+				return false
+			}
 			p &^= vb
 			x |= vb
 		}
+		return true
 	}
 	bk(0, all, 0)
 	return out

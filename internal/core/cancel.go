@@ -58,13 +58,14 @@ func CheckHDCtx(ctx context.Context, h *hypergraph.Hypergraph, k int) (d *decomp
 }
 
 // HWCtx is HW under a context. On cancellation it returns the highest k
-// proven infeasible so far plus one as a lower bound (lb ≥ 1), with a
-// nil witness and ctx.Err().
+// proven infeasible so far plus one as a lower bound (lb ≥ 1; the start
+// level is backed by the clique bound of Lemma 2.8), with a nil witness
+// and ctx.Err().
 func HWCtx(ctx context.Context, h *hypergraph.Hypergraph, maxK int) (lb int, d *decomp.Decomp, err error) {
 	if maxK <= 0 {
 		maxK = h.NumEdges()
 	}
-	for k := 1; k <= maxK; k++ {
+	for k := cliqueStartK(h); k <= maxK; k++ {
 		d, err := CheckHDCtx(ctx, h, k)
 		if err != nil {
 			return k, nil, err
@@ -103,28 +104,50 @@ func ExactFHWCtx(ctx context.Context, h *hypergraph.Hypergraph) (w *big.Rat, d *
 	return w, d, nil
 }
 
-// CheckGHDViaBIPCtx is CheckGHDViaBIP under a context: both the subedge
-// closure enumeration (also bounded by opt.MaxSubedges) and the
-// Check(HD,k) search on the augmented hypergraph are cancellable.
+// CheckGHDViaBIPCtx is CheckGHDViaBIP under a context: both the lazy
+// subedge generation (also bounded by opt.MaxSubedges) and the engine
+// search are cancellable.
 func CheckGHDViaBIPCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, opt Options) (d *decomp.Decomp, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	defer recoverCanceled(ctx, &err)
-	max := opt.MaxSubedges
+	return checkGHD(h, k, opt, false, ctx.Done())
+}
+
+// FHDSubedgesCtx precomputes the default candidate pool CheckFHD uses
+// when FHDOptions.Subedges is nil: the full subedge closure under the
+// cap (0 = library default). The closure does not depend on k, so
+// iterative-deepening callers compute it once and pass it through
+// FHDOptions.Subedges instead of re-enumerating per level. When the
+// closure exceeds the cap it returns (nil, nil): the right pool is then
+// CheckFHD's per-call h_{d,k} fallback, which does depend on k.
+func FHDSubedgesCtx(ctx context.Context, h *hypergraph.Hypergraph, maxSubedges int) (subs []hypergraph.VertexSet, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	defer recoverCanceled(ctx, &err)
+	max := maxSubedges
 	if max == 0 {
 		max = defaultMaxSubedges
 	}
-	subs, err := bipSubedges(h, k, max, ctx.Done())
-	if err != nil {
+	subs, serr := fullSubedgeClosure(h, max, ctx.Done())
+	if serr != nil {
+		return nil, nil // over the cap: fall back per level
+	}
+	return subs, nil
+}
+
+// CheckFHDCtx is CheckFHD under a context: the default subedge closure
+// and the engine search are cancellable (a single in-flight cover LP is
+// not, matching the other searches). The fhw portfolio races this as an
+// upper-bound strategy.
+func CheckFHDCtx(ctx context.Context, h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions) (d *decomp.Decomp, err error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	aug := Augment(h, subs)
-	hd := checkHD(aug.H, k, ctx.Done())
-	if hd == nil {
-		return nil, nil
-	}
-	return aug.ToOriginal(hd), nil
+	defer recoverCanceled(ctx, &err)
+	return checkFHD(h, k, opt, ctx.Done())
 }
 
 // MinFillGHDCtx is MinFillGHD under a context.

@@ -8,6 +8,11 @@
 // optimization, and the O(k·log k) integral-cover approximation — and
 // exact ghw/fhw computation via elimination orderings (the method of
 // Moll, Tazari and Thurley cited by the paper as the exact baseline).
+//
+// The Check(·,k) procedures all run on the shared cover-oracle engine of
+// engine.go; this file contributes the HD oracle (integral λ of ≤ k
+// edges, special condition by construction) and the CheckHD/HW entry
+// points.
 package core
 
 import (
@@ -17,33 +22,103 @@ import (
 	"hypertree/internal/lp"
 )
 
-// hdNode is the reconstruction record for one accepted subproblem.
-type hdNode struct {
-	lambda   []int // chosen edges
-	bag      hypergraph.VertexSet
-	children []uint64 // memo keys of child subproblems
+// hdOracle chooses covers for Check(HD,k): a guess λ of ≤ k edges with
+// bag := B(λ) ∩ (W ∪ C) succeeds if
+//
+//	(a) W ⊆ bag            (connector covered; connectedness),
+//	(b) bag ∩ C ≠ ∅        (progress; FNF condition 2),
+//	(c) every [bag]-component C' ⊆ C decomposes with connector
+//	    W' = bag ∩ V(edges(C'))   (the engine's recursion).
+//
+// The special condition holds by construction since bags are exactly
+// B(λ) ∩ (W ∪ C) and subtrees stay inside C ∪ bag.
+type hdOracle struct {
+	h *hypergraph.Hypergraph
+	k int
+
+	// Scratch buffers reused across guesses. Each buffer is fully
+	// consumed before the engine recurses, so reuse is safe.
+	scope, b, bag hypergraph.VertexSet
+	ebuf          hypergraph.EdgeSet
 }
 
-// hdSearch carries the memoization state of one CheckHD run. Subproblems
-// (component, connector) are interned to integer ids and memoized under a
-// packed 64-bit key; scratch buffers make the per-guess check
-// allocation-free up to the point a guess is accepted.
-type hdSearch struct {
-	h      *hypergraph.Hypergraph
-	k      int
-	intern hypergraph.Interner
-	memo   map[uint64]*hdNode // presence = solved; nil value = known failure
+func newHDOracle(h *hypergraph.Hypergraph, k int) *hdOracle {
+	n := h.NumVertices()
+	return &hdOracle{
+		h: h, k: k,
+		scope: hypergraph.NewVertexSet(n),
+		b:     hypergraph.NewVertexSet(n),
+		bag:   hypergraph.NewVertexSet(n),
+		ebuf:  hypergraph.NewEdgeSet(h.NumEdges()),
+	}
+}
 
-	// Cooperative cancellation (cancel.go): when done is non-nil,
-	// decompose polls it every pollMask+1 subproblems and unwinds the
-	// whole search with a canceled panic.
-	done  <-chan struct{}
-	steps uint32
+func (o *hdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, try func(engineGuess) bool) bool {
+	w := st.a
+	// Candidate edges must contribute vertices inside W ∪ C; edges that
+	// intersect C come first — they create progress. The two ascending
+	// passes reproduce the historical sorted order exactly.
+	o.scope = o.scope.CopyFrom(w).UnionInPlace(c)
+	o.ebuf = o.h.EdgesIntersectingSet(o.scope, o.ebuf)
+	candidates := make([]int, 0, o.ebuf.Count())
+	o.ebuf.ForEach(func(ed int) bool {
+		if o.h.Edge(ed).Intersects(c) {
+			candidates = append(candidates, ed)
+		}
+		return true
+	})
+	o.ebuf.ForEach(func(ed int) bool {
+		if !o.h.Edge(ed).Intersects(c) {
+			candidates = append(candidates, ed)
+		}
+		return true
+	})
 
-	// Scratch buffers reused across check() invocations. Each buffer is
-	// fully consumed before any recursive call, so reuse is safe.
-	scope, b, bag, wc hypergraph.VertexSet
-	ebuf              hypergraph.EdgeSet
+	lambda := make([]int, 0, o.k)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(lambda) > 0 && o.check(e, c, w, lambda, try) {
+			return true
+		}
+		if len(lambda) == o.k {
+			return false
+		}
+		for i := start; i < len(candidates); i++ {
+			lambda = append(lambda, candidates[i])
+			if rec(i + 1) {
+				return true
+			}
+			lambda = lambda[:len(lambda)-1]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// check tests one guess λ. The rejection path — the overwhelming
+// majority of calls — runs entirely on scratch buffers.
+func (o *hdOracle) check(e *engine, c, w hypergraph.VertexSet, lambda []int, try func(engineGuess) bool) bool {
+	e.poll()
+	o.b = o.b.Reset()
+	for _, ed := range lambda {
+		o.b = o.b.UnionInPlace(o.h.Edge(ed))
+	}
+	o.bag = o.bag.CopyFrom(w).UnionInPlace(c).IntersectInPlace(o.b)
+	if !w.IsSubsetOf(o.bag) {
+		return false
+	}
+	if !o.bag.Intersects(c) {
+		return false
+	}
+	lam := lambda
+	return try(engineGuess{bag: o.bag, cover: func() cover.Fractional {
+		cov := cover.Fractional{}
+		one := lp.RI(1)
+		for _, ed := range lam {
+			cov[ed] = one
+		}
+		return cov
+	}})
 }
 
 // CheckHD decides Check(HD,k): whether h has a hypertree decomposition of
@@ -62,164 +137,53 @@ func checkHD(h *hypergraph.Hypergraph, k int, done <-chan struct{}) *decomp.Deco
 	if k <= 0 || h.NumEdges() == 0 {
 		return nil
 	}
-	n := h.NumVertices()
-	s := &hdSearch{
-		h: h, k: k, done: done, memo: map[uint64]*hdNode{},
-		scope: hypergraph.NewVertexSet(n),
-		b:     hypergraph.NewVertexSet(n),
-		bag:   hypergraph.NewVertexSet(n),
-		wc:    hypergraph.NewVertexSet(n),
-		ebuf:  hypergraph.NewEdgeSet(h.NumEdges()),
-	}
-	all := h.Vertices()
-	empty := hypergraph.NewVertexSet(n)
-	key, ok := s.decompose(all, empty)
+	e := newEngine(h, newHDOracle(h, k), false, done)
+	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if !ok {
 		return nil
 	}
 	d := decomp.New(h)
-	s.build(d, -1, key)
+	e.build(d, -1, key, nil)
 	return d
 }
 
-// HW computes the hypertree width hw(h) by iterating CheckHD, together
-// with a witness HD. maxK bounds the search (≤ 0 means |E(H)|).
+// cliqueStartK returns the level iterative deepening should start at.
+// Every maximal clique of the primal graph must fit in one bag of any
+// decomposition (Lemma 2.8), so levels below ρ of the worst clique are
+// infeasible for the integral measures hw and ghw (ρ is not an fhw
+// lower bound — ρ(K3) = 2 > fhw(K3) = 3/2; the fractional portfolio
+// uses FHWLowerBound instead). The preamble is strictly bounded so the
+// cancellable entry points (HWCtx, GHWViaBIP deepening) cannot stall
+// before their first poll: clique enumeration stops after a fixed
+// number of cliques and each per-clique cover search is size-capped;
+// both truncations only lower the start level, never raise it above
+// the true bound, so deepening stays correct.
+func cliqueStartK(h *hypergraph.Hypergraph) int {
+	const maxCliques, maxCoverSize = 64, 8
+	n := h.NumVertices()
+	if n == 0 || n > 64 || h.NumEdges() == 0 {
+		return 1
+	}
+	best := 1
+	for _, kq := range maximalCliquesBounded(h, maxCliques) {
+		if c := cover.EdgeCover(h, kq, maxCoverSize); c != nil && len(c) > best {
+			best = len(c)
+		}
+	}
+	return best
+}
+
+// HW computes the hypertree width hw(h) by iterating CheckHD from the
+// clique lower bound, together with a witness HD. maxK bounds the search
+// (≤ 0 means |E(H)|).
 func HW(h *hypergraph.Hypergraph, maxK int) (int, *decomp.Decomp) {
 	if maxK <= 0 {
 		maxK = h.NumEdges()
 	}
-	for k := 1; k <= maxK; k++ {
+	for k := cliqueStartK(h); k <= maxK; k++ {
 		if d := CheckHD(h, k); d != nil {
 			return k, d
 		}
 	}
 	return -1, nil
-}
-
-// decompose solves the subproblem (C, W): C is a component still to be
-// covered and W ⊆ Bparent is its connector (the parent-bag vertices
-// adjacent to C). It returns the memo key of a witness node and whether
-// the subproblem is solvable.
-//
-// The invariant maintained is e ⊆ C ∪ W for every e ∈ edges(C). A guess
-// λ of ≤ k edges succeeds if, with bag := B(λ) ∩ (W ∪ C),
-//
-//	(a) W ⊆ bag            (connector covered; connectedness),
-//	(b) bag ∩ C ≠ ∅        (progress; FNF condition 2),
-//	(c) every [bag]-component C' ⊆ C decomposes with connector
-//	    W' = bag ∩ V(edges(C')).
-//
-// The special condition holds by construction since bags are exactly
-// B(λ) ∩ (W ∪ C) and subtrees stay inside C ∪ bag.
-//
-// Callers may pass scratch-backed sets: both arguments are interned
-// immediately and replaced by their stable canonical copies.
-func (s *hdSearch) decompose(c, w hypergraph.VertexSet) (uint64, bool) {
-	if s.done != nil {
-		if s.steps++; s.steps&pollMask == 0 {
-			pollCancel(s.done)
-		}
-	}
-	cid, c, _ := s.intern.Intern(c)
-	wid, w, _ := s.intern.Intern(w)
-	key := hypergraph.PairKey(cid, wid)
-	if n, done := s.memo[key]; done {
-		return key, n != nil
-	}
-	// Candidate edges must contribute vertices inside W ∪ C; edges that
-	// intersect C come first — they create progress. The two ascending
-	// passes reproduce the historical sorted order exactly.
-	s.scope = s.scope.CopyFrom(w).UnionInPlace(c)
-	s.ebuf = s.h.EdgesIntersectingSet(s.scope, s.ebuf)
-	candidates := make([]int, 0, s.ebuf.Count())
-	s.ebuf.ForEach(func(e int) bool {
-		if s.h.Edge(e).Intersects(c) {
-			candidates = append(candidates, e)
-		}
-		return true
-	})
-	s.ebuf.ForEach(func(e int) bool {
-		if !s.h.Edge(e).Intersects(c) {
-			candidates = append(candidates, e)
-		}
-		return true
-	})
-
-	lambda := make([]int, 0, s.k)
-	var try func(start int) *hdNode
-	try = func(start int) *hdNode {
-		if len(lambda) > 0 {
-			if n := s.check(c, w, lambda); n != nil {
-				return n
-			}
-		}
-		if len(lambda) == s.k {
-			return nil
-		}
-		for i := start; i < len(candidates); i++ {
-			lambda = append(lambda, candidates[i])
-			if n := try(i + 1); n != nil {
-				return n
-			}
-			lambda = lambda[:len(lambda)-1]
-		}
-		return nil
-	}
-	node := try(0)
-	s.memo[key] = node
-	return key, node != nil
-}
-
-// check tests one guess λ for subproblem (C, W). The rejection path — the
-// overwhelming majority of calls — runs entirely on scratch buffers.
-func (s *hdSearch) check(c, w hypergraph.VertexSet, lambda []int) *hdNode {
-	if s.done != nil {
-		if s.steps++; s.steps&pollMask == 0 {
-			pollCancel(s.done)
-		}
-	}
-	// bag := B(λ) ∩ (W ∪ C), on scratch.
-	s.b = s.b.Reset()
-	for _, e := range lambda {
-		s.b = s.b.UnionInPlace(s.h.Edge(e))
-	}
-	s.bag = s.bag.CopyFrom(w).UnionInPlace(c).IntersectInPlace(s.b)
-	if !w.IsSubsetOf(s.bag) {
-		return nil
-	}
-	if !s.bag.Intersects(c) {
-		return nil
-	}
-	bag := s.bag.Clone() // survives recursion and lands in the node
-	var childKeys []uint64
-	for _, comp := range s.h.ComponentsOf(bag, c) {
-		// Connector: bag vertices on edges touching the child component,
-		// i.e. (⋃ edges(C')) ∩ bag.
-		s.ebuf = s.h.EdgesIntersectingSet(comp, s.ebuf)
-		s.wc = s.wc.Reset()
-		s.ebuf.ForEach(func(e int) bool {
-			s.wc = s.wc.UnionInPlace(s.h.Edge(e))
-			return true
-		})
-		s.wc = s.wc.IntersectInPlace(bag)
-		ck, ok := s.decompose(comp, s.wc)
-		if !ok {
-			return nil
-		}
-		childKeys = append(childKeys, ck)
-	}
-	return &hdNode{lambda: append([]int(nil), lambda...), bag: bag, children: childKeys}
-}
-
-// build materializes the memoized witness tree into d under parent.
-func (s *hdSearch) build(d *decomp.Decomp, parent int, key uint64) {
-	n := s.memo[key]
-	cov := cover.Fractional{}
-	for _, e := range n.lambda {
-		cov[e] = lp.RI(1)
-	}
-	id := d.AddNode(parent, n.bag, cov)
-	for _, ck := range n.children {
-		s.build(d, id, ck)
-	}
 }

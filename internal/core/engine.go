@@ -1,0 +1,211 @@
+package core
+
+// The cover-oracle engine: one memoized top-down (component, state)
+// search shared by every tractable Check(·,k) procedure of the paper —
+// Check(HD,k) (det-k-decomp), Check(GHD,k) under the bounded intersection
+// property (Section 4), Check(FHD,k) for bounded degree (Section 5), and
+// Algorithm 3's (k,ε,c)-frac-decomp (Section 6). The procedures are all
+// the same recursion: solve subproblem (C, state) by guessing a bag
+// cover, splitting C into [bag]-components and recursing. They differ
+// only in how a cover is chosen, which is exactly what the coverOracle
+// interface captures; the engine owns everything else — subproblem
+// interning and memoization, cooperative cancellation, component
+// splitting, connector computation and witness reconstruction.
+
+import (
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+// engineState is the oracle-defined part of a subproblem's identity
+// beyond the component itself. For the HD/GHD/FHD checks a is the
+// connector W and b is nil; for frac-decomp a is the parent's fractional
+// part Ws and b is V(R), the vertices of the parent's integral edges.
+type engineState struct {
+	a hypergraph.VertexSet
+	b hypergraph.VertexSet // nil for pair-state oracles
+}
+
+// engineKey identifies a memoized subproblem: the interned ids of the
+// component and the state sets (b = -1 when absent).
+type engineKey struct{ c, a, b int32 }
+
+// engineNode is the reconstruction record of one accepted subproblem.
+type engineNode struct {
+	bag      hypergraph.VertexSet
+	comp     hypergraph.VertexSet // set only under trim (frac-decomp witness shape)
+	cover    cover.Fractional     // over the edges of the witness hypergraph
+	children []engineKey
+}
+
+// engineGuess is one cover candidate an oracle proposes for a
+// subproblem. The engine recurses into the [bag]-components of the
+// subproblem's component and, if every child decomposes, materializes
+// the witness cover.
+type engineGuess struct {
+	// bag of the node. May be oracle scratch: the engine clones it
+	// before recursing.
+	bag hypergraph.VertexSet
+	// cover materializes the witness cover of an accepted guess. It is
+	// called at most once, synchronously inside try — before the
+	// oracle's enumeration state (shared λ stacks, scratch buffers) can
+	// move on — so it may capture that state by reference.
+	cover func() cover.Fractional
+	// childState, when non-nil, is handed unchanged to every child
+	// component (frac-decomp passes (Ws, V(S)) down). When nil the
+	// engine computes the standard connector bag ∩ V(edges(C')) per
+	// child.
+	childState *engineState
+}
+
+// coverOracle supplies the measure-specific half of the search:
+// candidate covers for each subproblem. guesses must call try for each
+// candidate, in whatever order it wants to explore them; try returns
+// true when the guess was accepted (every child component decomposed),
+// upon which enumeration must stop and guesses must return true.
+//
+// Sets passed to try may be oracle scratch — the engine copies what it
+// keeps — but an oracle must assume try re-enters guesses recursively
+// for child subproblems: any oracle state that lives across a try call
+// must be either per-invocation or append-only.
+type coverOracle interface {
+	guesses(e *engine, c hypergraph.VertexSet, st engineState, try func(engineGuess) bool) bool
+}
+
+// scopeCache memoizes one per-scope value (candidate lists, atom pools)
+// under the interned canonical scope set. The interner's dense ids
+// index slots; a slot is appended before build runs, so the id-to-slot
+// alignment survives even a build that interns further scopes.
+type scopeCache[T any] struct {
+	intern hypergraph.Interner
+	slots  []T
+}
+
+// get returns the cached value for scope, building it on first sight.
+// scope may be scratch; build receives the stable canonical copy.
+func (sc *scopeCache[T]) get(scope hypergraph.VertexSet, build func(canon hypergraph.VertexSet) T) T {
+	id, canon, isNew := sc.intern.Intern(scope)
+	if isNew {
+		var zero T
+		sc.slots = append(sc.slots, zero)
+		sc.slots[id] = build(canon)
+	}
+	return sc.slots[id]
+}
+
+// engine is the state of one Check(·,k) run.
+type engine struct {
+	h      *hypergraph.Hypergraph // connectivity host: components and connectors
+	oracle coverOracle
+	intern hypergraph.Interner
+	memo   map[engineKey]*engineNode // presence = solved; nil value = known failure
+	trim   bool                      // witness bags trimmed to parentBag ∪ comp (Algorithm 3)
+
+	// Cooperative cancellation (cancel.go): when done is non-nil the
+	// engine polls it every pollMask+1 steps and unwinds the whole
+	// search with a canceled panic.
+	done  <-chan struct{}
+	steps uint32
+
+	// Scratch buffers; each is fully consumed before any recursive call.
+	wc   hypergraph.VertexSet
+	ebuf hypergraph.EdgeSet
+}
+
+func newEngine(h *hypergraph.Hypergraph, o coverOracle, trim bool, done <-chan struct{}) *engine {
+	return &engine{
+		h: h, oracle: o, trim: trim, done: done,
+		memo: map[engineKey]*engineNode{},
+		wc:   hypergraph.NewVertexSet(h.NumVertices()),
+		ebuf: hypergraph.NewEdgeSet(h.NumEdges()),
+	}
+}
+
+// poll checks for cancellation every pollMask+1 calls. Oracles call it
+// from their guess loops; the engine calls it once per subproblem.
+func (e *engine) poll() {
+	if e.done != nil {
+		if e.steps++; e.steps&pollMask == 0 {
+			pollCancel(e.done)
+		}
+	}
+}
+
+// decompose solves subproblem (c, st) and returns its memo key together
+// with whether it is solvable. Both arguments may be scratch-backed:
+// they are interned immediately and replaced by stable canonical copies.
+func (e *engine) decompose(c hypergraph.VertexSet, st engineState) (engineKey, bool) {
+	e.poll()
+	cid, c, _ := e.intern.Intern(c)
+	aid, a, _ := e.intern.Intern(st.a)
+	key := engineKey{c: int32(cid), a: int32(aid), b: -1}
+	st.a = a
+	if st.b != nil {
+		bid, b, _ := e.intern.Intern(st.b)
+		key.b = int32(bid)
+		st.b = b
+	}
+	if n, done := e.memo[key]; done {
+		return key, n != nil
+	}
+	var node *engineNode
+	e.oracle.guesses(e, c, st, func(g engineGuess) bool {
+		// Progress invariant: a bag disjoint from C would recreate the
+		// same subproblem below and never terminate. Oracles reject
+		// this cheaply themselves; the engine enforces it regardless.
+		if !g.bag.Intersects(c) {
+			return false
+		}
+		bag := g.bag.Clone()
+		var children []engineKey
+		for _, comp := range e.h.ComponentsOf(bag, c) {
+			var cst engineState
+			if g.childState != nil {
+				cst = *g.childState
+			} else {
+				cst = engineState{a: e.connector(comp, bag)}
+			}
+			ck, ok := e.decompose(comp, cst)
+			if !ok {
+				return false
+			}
+			children = append(children, ck)
+		}
+		node = &engineNode{bag: bag, cover: g.cover(), children: children}
+		if e.trim {
+			node.comp = c
+		}
+		return true
+	})
+	e.memo[key] = node
+	return key, node != nil
+}
+
+// connector computes the child connector W' = bag ∩ V(edges(C')) on
+// scratch; callers must consume (intern) the result before the next
+// engine call.
+func (e *engine) connector(comp, bag hypergraph.VertexSet) hypergraph.VertexSet {
+	e.ebuf = e.h.EdgesIntersectingSet(comp, e.ebuf)
+	e.wc = e.wc.Reset()
+	e.ebuf.ForEach(func(ed int) bool {
+		e.wc = e.wc.UnionInPlace(e.h.Edge(ed))
+		return true
+	})
+	return e.wc.IntersectInPlace(bag)
+}
+
+// build materializes the memoized witness tree into d under parent.
+// Under trim, non-root bags follow the witness-tree definition after
+// Algorithm 3: B_s = B(γ_s) ∩ (B_r ∪ comp(s)).
+func (e *engine) build(d *decomp.Decomp, parent int, key engineKey, parentBag hypergraph.VertexSet) {
+	n := e.memo[key]
+	bag := n.bag
+	if e.trim && parent >= 0 {
+		bag = n.bag.Intersect(parentBag.Union(n.comp))
+	}
+	id := d.AddNode(parent, bag, n.cover)
+	for _, ck := range n.children {
+		e.build(d, id, ck, bag)
+	}
+}

@@ -23,24 +23,149 @@ type FHDOptions struct {
 	MaxSubedges int
 }
 
-// fhdNode is the reconstruction record of one accepted FHD subproblem.
-type fhdNode struct {
-	bag      hypergraph.VertexSet
-	cov      cover.Fractional // over augmented edge indices
-	children []uint64
-}
-
-type fhdSearch struct {
-	orig       *hypergraph.Hypergraph
-	aug        *Augmented
+// fhdOracle chooses covers for Check(FHD,k) per Theorem 5.22: a guess is
+// a set S of ≤ maxSupport augmented edges lying entirely inside the
+// scope W ∪ C (strict bags B = ⋃S), accepted when W ⊆ B, B ∩ C ≠ ∅ and
+// B admits a fractional cover of weight ≤ k by the edges of S (exact
+// LP). Witness covers are charged back to the originators of the
+// subedges, so the engine recurses — and the final FHD lives — on the
+// original hypergraph.
+//
+// The oracle keeps two per-run caches. Candidate lists are cached per
+// scope (two subproblems with equal W ∪ C admit the same S guesses).
+// And the cover LPs are memoized on the interned support set: the bag
+// is determined by S, so sibling subproblems that re-derive the same
+// support reuse the finished solve outright — the engine's replacement
+// for warm-starting a simplex basis across sibling bag LPs, exact and
+// strictly cheaper than a warm start when it hits.
+type fhdOracle struct {
+	aug        *Augmented // candidate store: indexed augmented hypergraph + originators
 	k          *big.Rat
 	maxSupport int
-	intern     hypergraph.Interner
-	memo       map[uint64]*fhdNode // presence = solved; nil = known failure
 
-	// Scratch buffers; each is consumed before any recursive call.
-	scope, wc, b hypergraph.VertexSet
-	ebuf         hypergraph.EdgeSet
+	cands scopeCache[[]int] // per-scope augmented edge ids ⊆ scope
+
+	supports hypergraph.Interner      // interned chosen-edge bitsets
+	lpMemo   map[int]cover.Fractional // support id → γ (nil = no cover of weight ≤ k)
+
+	// Scratch buffers; each is fully consumed before the engine recurses.
+	scope, b hypergraph.VertexSet
+	cset     hypergraph.VertexSet // chosen-edge bitset for support interning
+	ebuf     hypergraph.EdgeSet
+}
+
+func newFHDOracle(aug *Augmented, k *big.Rat, maxSupport int) *fhdOracle {
+	n := aug.Orig.NumVertices()
+	return &fhdOracle{
+		aug: aug, k: k, maxSupport: maxSupport,
+		lpMemo: map[int]cover.Fractional{},
+		scope:  hypergraph.NewVertexSet(n),
+		b:      hypergraph.NewVertexSet(n),
+		cset:   hypergraph.NewVertexSet(aug.H.NumEdges()),
+		ebuf:   hypergraph.NewEdgeSet(aug.H.NumEdges()),
+	}
+}
+
+func (o *fhdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, try func(engineGuess) bool) bool {
+	w := st.a
+	// Candidates: augmented edges entirely inside W ∪ C (strict bags
+	// B = ⋃S must stay inside W ∪ C). The incidence index narrows the
+	// scan to edges intersecting the scope; the subset test rules out
+	// the rest. The list is cached per scope.
+	o.scope = o.scope.CopyFrom(w).UnionInPlace(c)
+	candidates := o.cands.get(o.scope, func(canonScope hypergraph.VertexSet) []int {
+		var cands []int
+		o.ebuf = o.aug.H.EdgesIntersectingSet(canonScope, o.ebuf)
+		o.ebuf.ForEach(func(ed int) bool {
+			if o.aug.H.Edge(ed).IsSubsetOf(canonScope) {
+				cands = append(cands, ed)
+			}
+			return true
+		})
+		return cands
+	})
+
+	chosen := make([]int, 0, o.maxSupport)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(chosen) > 0 && o.check(e, c, w, chosen, try) {
+			return true
+		}
+		if len(chosen) == o.maxSupport {
+			return false
+		}
+		for i := start; i < len(candidates); i++ {
+			chosen = append(chosen, candidates[i])
+			if rec(i + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func (o *fhdOracle) check(e *engine, c, w hypergraph.VertexSet, chosen []int, try func(engineGuess) bool) bool {
+	e.poll()
+	// B = ⋃S on scratch; reject cheaply before the LP.
+	o.b = o.b.Reset()
+	for _, ed := range chosen {
+		o.b = o.b.UnionInPlace(o.aug.H.Edge(ed))
+	}
+	if !w.IsSubsetOf(o.b) || !o.b.Intersects(c) {
+		return false
+	}
+	gamma := o.coverWithin(o.b, chosen)
+	if gamma == nil {
+		return false
+	}
+	return try(engineGuess{bag: o.b, cover: func() cover.Fractional {
+		// Charge each subedge's weight to its originator; weight beyond
+		// 1 never helps coverage (the GHD-from-HD step of Theorem 4.11).
+		cov := cover.Fractional{}
+		for ed, wt := range gamma {
+			og := o.aug.Origin[ed]
+			if cov[og] == nil {
+				cov[og] = new(big.Rat)
+			}
+			cov[og].Add(cov[og], wt)
+		}
+		one := lp.RI(1)
+		for og, wt := range cov {
+			if wt.Cmp(one) > 0 {
+				cov[og] = lp.RI(1)
+			}
+		}
+		return cov
+	}})
+}
+
+// coverWithin solves min Σ γ(e) over e ∈ chosen subject to covering
+// ⋃chosen, memoized on the interned support set, and returns the weights
+// if the optimum is ≤ k (ρ*(H_λu) ≤ k in the terms of Theorem 5.22),
+// nil otherwise. The LP runs in dual ≤-form (no artificials, no phase 1;
+// see cover.SolveCoverLP).
+func (o *fhdOracle) coverWithin(bag hypergraph.VertexSet, chosen []int) cover.Fractional {
+	o.cset = o.cset.Reset()
+	for _, ed := range chosen {
+		o.cset.Add(ed)
+	}
+	id, _, isNew := o.supports.Intern(o.cset)
+	if !isNew {
+		return o.lpMemo[id]
+	}
+	var gamma cover.Fractional
+	if w, x := cover.SolveCoverLP(o.aug.H, chosen, bag); w != nil && w.Cmp(o.k) <= 0 {
+		gamma = cover.Fractional{}
+		for j, ed := range chosen {
+			if x[j] != nil && x[j].Sign() > 0 {
+				gamma[ed] = x[j]
+			}
+		}
+	}
+	o.lpMemo[id] = gamma
+	return gamma
 }
 
 // CheckFHD decides Check(FHD,k) — is fhw(h) ≤ k? — using the reduction of
@@ -54,6 +179,12 @@ type fhdSearch struct {
 // classes (Theorem 5.2); on unrestricted inputs the subedge closure or
 // the support enumeration may be large, bounded by opt caps.
 func CheckFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions) (*decomp.Decomp, error) {
+	return checkFHD(h, k, opt, nil)
+}
+
+// checkFHD is CheckFHD with an optional cancellation channel; see
+// CheckFHDCtx in cancel.go for the context-aware entry point.
+func checkFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions, done <-chan struct{}) (*decomp.Decomp, error) {
 	if h.NumEdges() == 0 || k.Sign() <= 0 {
 		return nil, nil
 	}
@@ -74,7 +205,7 @@ func CheckFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions) (*decomp.Dec
 			max = defaultMaxSubedges
 		}
 		var err error
-		subs, err = FullSubedgeClosure(h, max)
+		subs, err = fullSubedgeClosure(h, max, done)
 		if err != nil {
 			// Fall back to the (capped) h_{d,k} closure of Lemma 5.17.
 			subs, err = HdkSubedges(h, d, ratCeil(k), 0, max)
@@ -84,21 +215,14 @@ func CheckFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions) (*decomp.Dec
 		}
 	}
 	aug := Augment(h, subs)
-	s := &fhdSearch{
-		orig: h, aug: aug, k: k, maxSupport: maxSupport,
-		memo:  map[uint64]*fhdNode{},
-		scope: hypergraph.NewVertexSet(h.NumVertices()),
-		wc:    hypergraph.NewVertexSet(h.NumVertices()),
-		b:     hypergraph.NewVertexSet(h.NumVertices()),
-		ebuf:  hypergraph.NewEdgeSet(aug.H.NumEdges()),
-	}
-	key, ok := s.decompose(h.Vertices(), hypergraph.NewVertexSet(h.NumVertices()))
+	e := newEngine(h, newFHDOracle(aug, k, maxSupport), false, done)
+	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if !ok {
 		return nil, nil
 	}
-	augDecomp := decomp.New(aug.H)
-	s.build(augDecomp, -1, key)
-	return aug.ToOriginal(augDecomp), nil
+	dec := decomp.New(h)
+	e.build(dec, -1, key, nil)
+	return dec, nil
 }
 
 // ratCeil returns ⌈r⌉ as an int.
@@ -108,112 +232,4 @@ func ratCeil(r *big.Rat) int {
 		return int(q.Int64())
 	}
 	return int(q.Int64()) + 1
-}
-
-func (s *fhdSearch) decompose(c, w hypergraph.VertexSet) (uint64, bool) {
-	cid, c, _ := s.intern.Intern(c)
-	wid, w, _ := s.intern.Intern(w)
-	key := hypergraph.PairKey(cid, wid)
-	if n, done := s.memo[key]; done {
-		return key, n != nil
-	}
-	// Candidates: augmented edges entirely inside W ∪ C that intersect C
-	// or cover part of W (strict bags B = ⋃S must stay inside W ∪ C). The
-	// incidence index narrows the scan to edges intersecting the scope;
-	// the subset test rules out the rest.
-	s.scope = s.scope.CopyFrom(w).UnionInPlace(c)
-	s.ebuf = s.aug.H.EdgesIntersectingSet(s.scope, s.ebuf)
-	var candidates []int
-	scope := s.scope
-	s.ebuf.ForEach(func(e int) bool {
-		if s.aug.H.Edge(e).IsSubsetOf(scope) {
-			candidates = append(candidates, e)
-		}
-		return true
-	})
-	chosen := make([]int, 0, s.maxSupport)
-	var try func(start int) *fhdNode
-	try = func(start int) *fhdNode {
-		if len(chosen) > 0 {
-			if n := s.check(c, w, chosen); n != nil {
-				return n
-			}
-		}
-		if len(chosen) == s.maxSupport {
-			return nil
-		}
-		for i := start; i < len(candidates); i++ {
-			chosen = append(chosen, candidates[i])
-			if n := try(i + 1); n != nil {
-				return n
-			}
-			chosen = chosen[:len(chosen)-1]
-		}
-		return nil
-	}
-	node := try(0)
-	s.memo[key] = node
-	return key, node != nil
-}
-
-func (s *fhdSearch) check(c, w hypergraph.VertexSet, chosen []int) *fhdNode {
-	// B = ⋃S on scratch; reject cheaply before materializing the bag.
-	s.b = s.b.Reset()
-	for _, e := range chosen {
-		s.b = s.b.UnionInPlace(s.aug.H.Edge(e))
-	}
-	if !w.IsSubsetOf(s.b) || !s.b.Intersects(c) {
-		return nil
-	}
-	bag := s.b.Clone()
-	// Fractional cover of the bag by the chosen edges with weight ≤ k
-	// (ρ*(H_λu) ≤ k in the terms of Theorem 5.22), solved exactly.
-	gamma := s.coverWithin(bag, chosen)
-	if gamma == nil {
-		return nil
-	}
-	var childKeys []uint64
-	// Components and connectors are computed in the original hypergraph:
-	// subedges are subsets of original edges, so [bag]-connectivity is
-	// unchanged and the original edges dominate the connectors.
-	for _, comp := range s.orig.ComponentsOf(bag, c) {
-		s.ebuf = s.orig.EdgesIntersectingSet(comp, s.ebuf)
-		s.wc = s.wc.Reset()
-		s.ebuf.ForEach(func(e int) bool {
-			s.wc = s.wc.UnionInPlace(s.orig.Edge(e))
-			return true
-		})
-		s.wc = s.wc.IntersectInPlace(bag)
-		ck, ok := s.decompose(comp, s.wc)
-		if !ok {
-			return nil
-		}
-		childKeys = append(childKeys, ck)
-	}
-	return &fhdNode{bag: bag, cov: gamma, children: childKeys}
-}
-
-// coverWithin solves min Σ γ(e) over e ∈ chosen subject to covering bag,
-// and returns the weights if the optimum is ≤ k, nil otherwise. The LP
-// runs in dual ≤-form (no artificials, no phase 1; see cover.SolveCoverLP).
-func (s *fhdSearch) coverWithin(bag hypergraph.VertexSet, chosen []int) cover.Fractional {
-	w, x := cover.SolveCoverLP(s.aug.H, chosen, bag)
-	if w == nil || w.Cmp(s.k) > 0 {
-		return nil
-	}
-	gamma := cover.Fractional{}
-	for j, e := range chosen {
-		if x[j] != nil && x[j].Sign() > 0 {
-			gamma[e] = x[j]
-		}
-	}
-	return gamma
-}
-
-func (s *fhdSearch) build(d *decomp.Decomp, parent int, key uint64) {
-	n := s.memo[key]
-	id := d.AddNode(parent, n.bag, n.cov)
-	for _, ck := range n.children {
-		s.build(d, id, ck)
-	}
 }

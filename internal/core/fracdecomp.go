@@ -18,99 +18,65 @@ type FracDecompParams struct {
 	C   int
 }
 
-// fdNode reconstructs one accepted frac-decomp subproblem.
-type fdNode struct {
-	s        []int                // integral-weight edges (the set S)
-	ws       hypergraph.VertexSet // the guessed fractional part Ws
-	gamma    cover.Fractional     // γ covering Ws with weight ≤ k+ε−|S|
-	bag      hypergraph.VertexSet // B(γs) = V(S) ∪ Ws
-	comp     hypergraph.VertexSet // the component Cr this node was built for
-	children []fdKey
-}
-
-// fdKey is the interned (Cr, Wr, V(R)) subproblem key of Algorithm 3.
-type fdKey [3]int32
-
-type fdSearch struct {
+// fdOracle chooses covers for Algorithm 3's f-decomp procedure. A
+// subproblem is (Cr, Wr, V(R)): the component, the fractional part
+// guessed at the parent, and the vertices of the parent's integral
+// edges — the engine states carry (Wr, V(R)) and key all three. Each
+// guess is a set S of ≤ ⌊k+ε⌋ edges with weight 1 plus a fractional
+// part Ws of ≤ c vertices coverable with the remaining weight (checked
+// by exact LP), exactly as in the paper's listing. Children all receive
+// the fixed state (Ws, V(S)); witness bags are trimmed by the engine to
+// B(γs) ∩ (Br ∪ comp) per the witness-tree definition after Algorithm 3.
+type fdOracle struct {
 	h      *hypergraph.Hypergraph
 	target *big.Rat // k + ε
 	c      int
-	intern hypergraph.Interner
-	memo   map[fdKey]*fdNode // presence = solved; nil = known failure
-	ebuf   hypergraph.EdgeSet
+
+	// The Ws-cover LPs depend only on Ws, so they are memoized on the
+	// interned vertex set: the enumeration re-derives the same Ws for
+	// many S guesses and subproblems.
+	wsSets hypergraph.Interner
+	wsMemo map[int]wsCover
+
+	ebuf hypergraph.EdgeSet
 }
 
-// FracDecomp is the deterministic simulation of Algorithm 3,
-// "(k,ε,c)-frac-decomp": it accepts iff H has an FHD of width ≤ k+ε with
-// c-bounded fractional part satisfying the weak special condition
-// (Theorem 6.16), and returns a witness FHD on success. Combined with
-// Lemmas 6.4/6.5 — every width-k FHD of a hypergraph with iwidth ≤ i can
-// be massaged into exactly this shape for c = 2ik² + 4k³i/ε — this yields
-// the k+ε approximation of Theorem 6.1 for BIP classes.
-//
-// Each node guesses a set S of ≤ ⌊k+ε⌋ edges with weight 1 plus a
-// fractional part Ws of ≤ c vertices coverable with the remaining weight
-// (checked by exact LP), exactly as in the paper's listing; subproblems
-// are memoized on (component, S, Ws)-derived keys.
-func FracDecomp(h *hypergraph.Hypergraph, p FracDecompParams) *decomp.Decomp {
-	if h.NumEdges() == 0 {
-		return nil
-	}
-	target := new(big.Rat).Add(p.K, p.Eps)
-	s := &fdSearch{h: h, target: target, c: p.C,
-		memo: map[fdKey]*fdNode{},
-		ebuf: hypergraph.NewEdgeSet(h.NumEdges())}
-	key, ok := s.fDecomp(h.Vertices(), hypergraph.NewVertexSet(h.NumVertices()), nil)
-	if !ok {
-		return nil
-	}
-	d := decomp.New(h)
-	s.build(d, -1, key, hypergraph.NewVertexSet(h.NumVertices()))
-	return d
+// wsCover is a memoized ρ*(Ws) solve: the optimal weight (nil if Ws is
+// uncoverable) and an optimal cover.
+type wsCover struct {
+	w *big.Rat
+	g cover.Fractional
 }
 
-// fDecomp is procedure f-decomp(Cr, Wr, R) of Algorithm 3. Cr is the
-// current component, Wr the fractional part guessed at the parent, and R
-// the parent's integral edge set.
-func (s *fdSearch) fDecomp(cr, wr hypergraph.VertexSet, r []int) (fdKey, bool) {
-	vr := s.h.UnionOfEdges(r)
-	cid, cr, _ := s.intern.Intern(cr)
-	wid, wr, _ := s.intern.Intern(wr)
-	vid, vr, _ := s.intern.Intern(vr)
-	key := fdKey{int32(cid), int32(wid), int32(vid)}
-	if n, done := s.memo[key]; done {
-		return key, n != nil
-	}
-
+func (o *fdOracle) guesses(e *engine, cr hypergraph.VertexSet, st engineState, try func(engineGuess) bool) bool {
+	wr, vr := st.a, st.b
 	// (1.b) candidates for Ws: vertices of V(R) ∪ Wr ∪ Cr.
 	wsScope := vr.Union(wr).UnionInPlace(cr)
 	// The connector part that S ∪ Ws must cover (check 2.b): for each
 	// edge of H intersecting Cr, its intersection with V(R) ∪ Wr.
-	need := hypergraph.NewVertexSet(s.h.NumVertices())
+	need := hypergraph.NewVertexSet(o.h.NumVertices())
 	vrwr := vr.Union(wr)
-	s.ebuf = s.h.EdgesIntersectingSet(cr, s.ebuf)
-	s.ebuf.ForEach(func(e int) bool {
-		need = need.UnionInPlace(s.h.Edge(e))
+	o.ebuf = o.h.EdgesIntersectingSet(cr, o.ebuf)
+	o.ebuf.ForEach(func(ed int) bool {
+		need = need.UnionInPlace(o.h.Edge(ed))
 		return true
 	})
 	need = need.IntersectInPlace(vrwr)
 
-	maxS := int(new(big.Int).Quo(s.target.Num(), s.target.Denom()).Int64())
-	var result *fdNode
+	maxS := int(new(big.Int).Quo(o.target.Num(), o.target.Denom()).Int64())
 
 	// (1.a) guess S ⊆ E(H), |S| ≤ ⌊k+ε⌋. Edges must contribute inside
 	// the scope of this subproblem.
-	scope := wsScope
-	var candidates []int
-	for e := 0; e < s.h.NumEdges(); e++ {
-		if s.h.Edge(e).Intersects(scope) {
-			candidates = append(candidates, e)
-		}
-	}
+	o.ebuf = o.h.EdgesIntersectingSet(wsScope, o.ebuf)
+	candidates := make([]int, 0, o.ebuf.Count())
+	o.ebuf.ForEach(func(ed int) bool {
+		candidates = append(candidates, ed)
+		return true
+	})
 	chosen := make([]int, 0, maxS)
 	var tryS func(start int) bool
 	tryS = func(start int) bool {
-		if s.checkGuess(cr, wr, need, wsScope, chosen, &result) {
+		if o.checkGuess(e, cr, need, wsScope, chosen, try) {
 			return true
 		}
 		if len(chosen) == maxS {
@@ -125,31 +91,30 @@ func (s *fdSearch) fDecomp(cr, wr hypergraph.VertexSet, r []int) (fdKey, bool) {
 		}
 		return false
 	}
-	tryS(0)
-	s.memo[key] = result
-	return key, result != nil
+	return tryS(0)
 }
 
 // checkGuess completes one guess of S by enumerating Ws (≤ c vertices of
 // the still-needed connector plus component scope) and running checks
-// (2.a)-(2.c) and the recursion (4).
-func (s *fdSearch) checkGuess(cr, wr, need, wsScope hypergraph.VertexSet, chosen []int, result **fdNode) bool {
-	vs := s.h.UnionOfEdges(chosen)
+// (2.a)-(2.c); the engine handles the recursion (4).
+func (o *fdOracle) checkGuess(e *engine, cr, need, wsScope hypergraph.VertexSet, chosen []int, try func(engineGuess) bool) bool {
+	e.poll()
+	vs := o.h.UnionOfEdges(chosen)
 	// (2.b) pre-check: Ws must supply need \ V(S); if that exceeds c,
 	// this S is hopeless for any Ws.
 	missing := need.Diff(vs)
-	if missing.Count() > s.c {
+	if missing.Count() > o.c {
 		return false
 	}
 	// Enumerate Ws ⊇ missing with |Ws| ≤ c from the scope.
 	extra := wsScope.Diff(vs).Diff(missing).Vertices()
-	budget := s.c - missing.Count()
+	budget := o.c - missing.Count()
 	ell := lp.RI(int64(len(chosen)))
-	fracBudget := new(big.Rat).Sub(s.target, ell)
+	fracBudget := new(big.Rat).Sub(o.target, ell)
 
 	var tryWs func(start int, ws hypergraph.VertexSet) bool
 	tryWs = func(start int, ws hypergraph.VertexSet) bool {
-		if s.finishGuess(cr, wr, chosen, vs, ws, fracBudget, result) {
+		if o.finishGuess(cr, chosen, vs, ws, fracBudget, try) {
 			return true
 		}
 		if ws.Count()-missing.Count() >= budget {
@@ -166,8 +131,8 @@ func (s *fdSearch) checkGuess(cr, wr, need, wsScope hypergraph.VertexSet, chosen
 }
 
 // finishGuess runs checks (2.a)-(2.c) for a fully guessed (S, Ws) and
-// recurses into the components.
-func (s *fdSearch) finishGuess(cr, wr hypergraph.VertexSet, chosen []int, vs, ws hypergraph.VertexSet, fracBudget *big.Rat, result **fdNode) bool {
+// hands the guess to the engine.
+func (o *fdOracle) finishGuess(cr hypergraph.VertexSet, chosen []int, vs, ws hypergraph.VertexSet, fracBudget *big.Rat, try func(engineGuess) bool) bool {
 	if fracBudget.Sign() < 0 {
 		return false
 	}
@@ -179,48 +144,63 @@ func (s *fdSearch) finishGuess(cr, wr hypergraph.VertexSet, chosen []int, vs, ws
 	// (2.a) cover Ws fractionally with weight ≤ k+ε−ℓ.
 	gamma := cover.Fractional{}
 	if !ws.IsEmpty() {
-		w, g := cover.FractionalEdgeCover(s.h, ws)
-		if w == nil || w.Cmp(fracBudget) > 0 {
+		wc := o.coverWs(ws)
+		if wc.w == nil || wc.w.Cmp(fracBudget) > 0 {
 			return false
 		}
-		gamma = g
+		gamma = wc.g
 	}
-	// (4) recurse on [V(S) ∪ Ws]-components inside Cr.
-	var childKeys []fdKey
-	for _, comp := range s.h.ComponentsOf(bag, cr) {
-		ck, ok := s.fDecomp(comp, ws, chosen)
-		if !ok {
-			return false
-		}
-		childKeys = append(childKeys, ck)
-	}
-	*result = &fdNode{
-		s:        append([]int(nil), chosen...),
-		ws:       ws.Clone(),
-		gamma:    gamma,
-		bag:      bag,
-		comp:     cr.Clone(),
-		children: childKeys,
-	}
-	return true
+	// (4): the engine recurses on the [V(S) ∪ Ws]-components inside Cr,
+	// each with the fixed child state (Ws, V(S)).
+	return try(engineGuess{
+		bag:        bag,
+		childState: &engineState{a: ws, b: vs},
+		cover: func() cover.Fractional {
+			cov := gamma.Clone()
+			one := lp.RI(1)
+			for _, ed := range chosen {
+				cov[ed] = one
+			}
+			return cov
+		},
+	})
 }
 
-// build materializes the witness tree. Bags follow the witness-tree
-// definition after Algorithm 3: B_{s0} = B(γ_{s0}) at the root and
-// B_s = B(γ_s) ∩ (B_r ∪ comp(s)) elsewhere, with B(γ_s) = V(S) ∪ Ws.
-func (s *fdSearch) build(d *decomp.Decomp, parent int, key fdKey, parentBag hypergraph.VertexSet) {
-	n := s.memo[key]
-	one := lp.RI(1)
-	cov := n.gamma.Clone()
-	for _, e := range n.s {
-		cov[e] = one
+// coverWs computes ρ*(Ws) with an optimal cover, memoized on the
+// interned Ws.
+func (o *fdOracle) coverWs(ws hypergraph.VertexSet) wsCover {
+	id, _, isNew := o.wsSets.Intern(ws)
+	if !isNew {
+		return o.wsMemo[id]
 	}
-	bag := n.bag
-	if parent >= 0 {
-		bag = n.bag.Intersect(parentBag.Union(n.comp))
+	w, g := cover.FractionalEdgeCover(o.h, ws)
+	wc := wsCover{w: w, g: g}
+	o.wsMemo[id] = wc
+	return wc
+}
+
+// FracDecomp is the deterministic simulation of Algorithm 3,
+// "(k,ε,c)-frac-decomp": it accepts iff H has an FHD of width ≤ k+ε with
+// c-bounded fractional part satisfying the weak special condition
+// (Theorem 6.16), and returns a witness FHD on success. Combined with
+// Lemmas 6.4/6.5 — every width-k FHD of a hypergraph with iwidth ≤ i can
+// be massaged into exactly this shape for c = 2ik² + 4k³i/ε — this yields
+// the k+ε approximation of Theorem 6.1 for BIP classes.
+func FracDecomp(h *hypergraph.Hypergraph, p FracDecompParams) *decomp.Decomp {
+	if h.NumEdges() == 0 {
+		return nil
 	}
-	id := d.AddNode(parent, bag, cov)
-	for _, ck := range n.children {
-		s.build(d, id, ck, bag)
+	target := new(big.Rat).Add(p.K, p.Eps)
+	o := &fdOracle{h: h, target: target, c: p.C,
+		wsMemo: map[int]wsCover{},
+		ebuf:   hypergraph.NewEdgeSet(h.NumEdges())}
+	e := newEngine(h, o, true, nil)
+	empty := hypergraph.NewVertexSet(h.NumVertices())
+	key, ok := e.decompose(h.Vertices(), engineState{a: empty, b: empty})
+	if !ok {
+		return nil
 	}
+	d := decomp.New(h)
+	e.build(d, -1, key, nil)
+	return d
 }

@@ -100,6 +100,11 @@ func (a *Augmented) ToOriginal(d *decomp.Decomp) *decomp.Decomp {
 // |f(H,k)| ≤ m^{k+1}·2^{ik}. maxSets caps the output size defensively
 // (0 means no cap); exceeding the cap returns an error, which signals the
 // caller that H is not plausibly in a BIP class for these parameters.
+//
+// Check(GHD,k) no longer materializes this pool: the engine's ghdOracle
+// generates the same family lazily per subproblem scope (ghdcheck.go).
+// The eager enumeration remains as the f(H,k) reference for ablations
+// and the differential tests.
 func BIPSubedges(h *hypergraph.Hypergraph, k int, maxSets int) ([]hypergraph.VertexSet, error) {
 	return bipSubedges(h, k, maxSets, nil)
 }
@@ -195,11 +200,25 @@ func addAllSubsets(s hypergraph.VertexSet, add func(hypergraph.VertexSet) error)
 // FullSubedgeClosure computes the limit subedge function f⁺: all
 // non-empty proper subsets of all edges. hw(H ∪ f⁺) = ghw(H) ([3, 28]),
 // but |f⁺| is exponential in the rank, so this is only usable for tiny
-// hypergraphs; maxSets caps the size (0 = no cap).
+// hypergraphs; maxSets caps the size (0 = no cap). CheckFHD materializes
+// this closure as its default candidate pool; CheckGHDExact generates
+// the same family lazily per scope through the engine's ghdOracle.
 func FullSubedgeClosure(h *hypergraph.Hypergraph, maxSets int) ([]hypergraph.VertexSet, error) {
+	return fullSubedgeClosure(h, maxSets, nil)
+}
+
+// fullSubedgeClosure is FullSubedgeClosure with an optional cancellation
+// channel, polled once per enumerated subset (see cancel.go).
+func fullSubedgeClosure(h *hypergraph.Hypergraph, maxSets int, done <-chan struct{}) ([]hypergraph.VertexSet, error) {
 	var seen hypergraph.Interner
 	var out []hypergraph.VertexSet
+	var steps uint32
 	add := func(s hypergraph.VertexSet) error {
+		if done != nil {
+			if steps++; steps&pollMask == 0 {
+				pollCancel(done)
+			}
+		}
 		if s.IsEmpty() {
 			return nil
 		}

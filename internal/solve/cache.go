@@ -79,39 +79,87 @@ type CacheStats struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	Size   int    `json:"size"`
+	Bytes  int64  `json:"bytes"`
 }
 
 // Cache is a bounded, concurrency-safe result cache. Only exact results
 // are stored: partial results reflect the budget of the request that
-// produced them, not the instance. Eviction is FIFO.
+// produced them, not the instance. Eviction is FIFO, bounded both by
+// entry count and by approximate retained bytes: every entry pins the
+// populating hypergraph, its witness and the canonical key string, so a
+// stream of large distinct instances would otherwise hold far more
+// memory than the entry count suggests.
 type Cache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[Key]*entry
-	fifo    []Key
-	hits    uint64
-	misses  uint64
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	entries  map[Key]*entry
+	fifo     []Key
+	hits     uint64
+	misses   uint64
 }
 
 // entry couples a cached result with the hypergraph and canonical
 // relabeling of the request that populated it, so a hit from a
 // key-equal but differently-named query can translate the witness onto
-// its own hypergraph.
+// its own hypergraph. size is the approximate retained footprint,
+// computed once at insertion.
 type entry struct {
 	res     *Result
 	h       *hypergraph.Hypergraph
 	relabel []int
+	size    int64
 }
 
 // DefaultCacheSize bounds a Cache constructed with NewCache(0).
 const DefaultCacheSize = 4096
 
-// NewCache returns a cache holding at most max entries (0 = default).
+// DefaultCacheBytes bounds the approximate retained bytes of a Cache
+// constructed with NewCache or with NewCacheBytes(…, 0).
+const DefaultCacheBytes int64 = 128 << 20 // 128 MiB
+
+// NewCache returns a cache holding at most max entries (0 = default)
+// under the default byte bound.
 func NewCache(max int) *Cache {
+	return NewCacheBytes(max, 0)
+}
+
+// NewCacheBytes returns a cache holding at most max entries (0 =
+// default) and at most maxBytes approximate retained bytes (0 =
+// default). Whichever bound is hit first evicts oldest-in.
+func NewCacheBytes(max int, maxBytes int64) *Cache {
 	if max <= 0 {
 		max = DefaultCacheSize
 	}
-	return &Cache{max: max, entries: map[Key]*entry{}}
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{max: max, maxBytes: maxBytes, entries: map[Key]*entry{}}
+}
+
+// approxSize estimates the retained footprint of an entry under key k:
+// the canonical string (stored in the map key and the fifo copy), the
+// relabeling, the populating hypergraph's edge bitsets and names, and
+// the witness's bags and covers. Estimates err low on Go object
+// overheads; the bound is a guard rail, not an accountant.
+func (e *entry) approxSize(k Key) int64 {
+	s := int64(len(k.canon))*2 + int64(len(e.relabel))*8 + 256
+	if e.h != nil {
+		for ed := 0; ed < e.h.NumEdges(); ed++ {
+			s += int64(len(e.h.Edge(ed)))*8 + int64(len(e.h.EdgeName(ed))) + 48
+		}
+		for v := 0; v < e.h.NumVertices(); v++ {
+			s += int64(len(e.h.VertexName(v))) + 40
+		}
+	}
+	if e.res != nil && e.res.Witness != nil {
+		for i := range e.res.Witness.Nodes {
+			n := &e.res.Witness.Nodes[i]
+			s += int64(len(n.Bag))*8 + int64(len(n.Cover))*64 + int64(len(n.Children))*8 + 96
+		}
+	}
+	return s
 }
 
 // Get returns the cached result for k. The returned Result is shared:
@@ -149,16 +197,26 @@ func (c *Cache) putEntry(k Key, e *entry) {
 	if e == nil || e.res == nil || !e.res.Exact {
 		return
 	}
+	e.size = e.approxSize(k)
+	if e.size > c.maxBytes {
+		return // larger than the whole budget: caching it evicts everything for one entry
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[k]; !ok {
+	if old, ok := c.entries[k]; ok {
+		c.bytes -= old.size
+	} else {
 		c.fifo = append(c.fifo, k)
 	}
 	c.entries[k] = e
-	for len(c.entries) > c.max && len(c.fifo) > 0 {
+	c.bytes += e.size
+	for (len(c.entries) > c.max || c.bytes > c.maxBytes) && len(c.fifo) > 0 {
 		old := c.fifo[0]
 		c.fifo = c.fifo[1:]
-		delete(c.entries, old)
+		if oe, ok := c.entries[old]; ok {
+			c.bytes -= oe.size
+			delete(c.entries, old)
+		}
 	}
 }
 
@@ -169,9 +227,10 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// Stats returns hit/miss counters and the current size.
+// Stats returns hit/miss counters, the current size and the approximate
+// retained bytes.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries), Bytes: c.bytes}
 }

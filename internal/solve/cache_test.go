@@ -97,3 +97,49 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatalf("len = %d, want 2 after eviction", c.Len())
 	}
 }
+
+func TestCacheByteEviction(t *testing.T) {
+	// A byte budget small enough for roughly two path instances: filling
+	// it with five must evict down to the budget even though the entry
+	// cap (100) is never reached.
+	var perEntry int64
+	{
+		probe := NewCacheBytes(100, 0)
+		h := hypergraph.Path(40)
+		k, relabel := canonKey(Options{Measure: HW}, h)
+		probe.putEntry(k, &entry{res: &Result{Exact: true}, h: h, relabel: relabel})
+		perEntry = probe.Stats().Bytes
+		if perEntry <= 0 {
+			t.Fatalf("probe entry has non-positive size %d", perEntry)
+		}
+	}
+	c := NewCacheBytes(100, 2*perEntry+perEntry/2)
+	for i := 0; i < 5; i++ {
+		h := hypergraph.Path(40 + i)
+		k, relabel := canonKey(Options{Measure: HW}, h)
+		c.putEntry(k, &entry{res: &Result{Exact: true}, h: h, relabel: relabel})
+	}
+	st := c.Stats()
+	if st.Bytes > 2*perEntry+perEntry/2 {
+		t.Fatalf("cache holds %d bytes, budget %d", st.Bytes, 2*perEntry+perEntry/2)
+	}
+	if st.Size == 0 || st.Size > 2 {
+		t.Fatalf("cache holds %d entries, want 1-2 under the byte budget", st.Size)
+	}
+	// The newest entry must have survived (FIFO evicts oldest first).
+	h := hypergraph.Path(44)
+	k, _ := canonKey(Options{Measure: HW}, h)
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+}
+
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	c := NewCacheBytes(100, 64) // tiny byte budget
+	h := hypergraph.Path(40)
+	k, relabel := canonKey(Options{Measure: HW}, h)
+	c.putEntry(k, &entry{res: &Result{Exact: true}, h: h, relabel: relabel})
+	if c.Len() != 0 {
+		t.Fatal("entry larger than the whole budget must not be cached")
+	}
+}

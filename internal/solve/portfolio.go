@@ -25,7 +25,8 @@ import (
 //	      min-fill GHD as a fast upper bound; Check(GHD,k)-via-BIP
 //	      iterative deepening.
 //	fhw:  fractional clique lower bound; exact elimination DP for small
-//	      blocks; min-fill FHD as a fast upper bound.
+//	      blocks; min-fill FHD as a fast upper bound; Check(FHD,k)
+//	      deepening over integer levels for rational-width witnesses.
 
 // blockResult carries the outcome for one block.
 type blockResult struct {
@@ -182,11 +183,14 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options) blo
 				}
 			})
 		}
-		strategies = append(strategies, func() {
-			if w, d, err := core.MinFillFHDCtx(bctx, bh); err == nil && d != nil {
-				r.offerUpper(w, d, "minfill")
-			}
-		})
+		strategies = append(strategies,
+			func() {
+				if w, d, err := core.MinFillFHDCtx(bctx, bh); err == nil && d != nil {
+					r.offerUpper(w, d, "minfill")
+				}
+			},
+			func() { deepenFHDCheck(bctx, bh, r, maxK) },
+		)
 	}
 
 	var wg sync.WaitGroup
@@ -237,6 +241,39 @@ func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int)
 		r.raiseLower(lp.RI(int64(k+1)), "detk")
 		if r.upperBelow(k + 1) {
 			return // bounds met; closeIfMet already declared exactness
+		}
+	}
+}
+
+// deepenFHDCheck runs Check(FHD,k) over integer levels from the clique
+// bound as an fhw upper-bound strategy. An acceptance at level k yields
+// a witness whose actual (possibly fractional) width is offered as the
+// upper bound — often strictly below k, e.g. 3/2 on triangle blocks. A
+// rejection raises no lower bound: the procedure's h_{d,k} fallback
+// closure is not complete for every hypergraph, so only acceptances are
+// trusted. If the closure or support enumeration exceeds its caps the
+// strategy retires and leaves the field to the others.
+func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int) {
+	// The default subedge pool is k-independent: enumerate it once and
+	// reuse it across levels (nil on cap overflow, restoring the
+	// per-level k-dependent fallback inside CheckFHD).
+	subs, err := core.FHDSubedgesCtx(ctx, bh, 0)
+	if err != nil {
+		return
+	}
+	for k := r.snapshotLower(); k <= maxK; k++ {
+		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), core.FHDOptions{Subedges: subs})
+		if err != nil {
+			return // context done or closure cap exceeded
+		}
+		if d != nil {
+			r.offerUpper(d.Width(), d, "fhd-check")
+			return
+		}
+		if r.upperBelow(k) {
+			// Rejection at k means deeper acceptances land above k (when
+			// the closure is complete); an incumbent at ≤ k already wins.
+			return
 		}
 	}
 }

@@ -2,13 +2,15 @@
 // an end-to-end width service: a preprocessing pipeline (drop empty /
 // duplicate / subsumed edges, split on biconnected components of the
 // primal graph), a concurrent portfolio that races bounded strategies —
-// clique lower bounds, iterative deepening on Check(HD,k) and
-// Check(GHD,k)-via-BIP, the exact elimination DP for small pieces,
-// min-fill upper bounds — under context deadlines with a shared
-// incumbent, recombination of the per-piece witnesses into one validated
-// decomposition, and a fingerprint-keyed result cache for repeated
-// queries. cmd/hgserve exposes it over HTTP; cmd/hgwidth and the E12
-// corpus experiment in cmd/hgbench drive it from the command line.
+// clique lower bounds, iterative deepening on Check(HD,k),
+// Check(GHD,k)-via-BIP and Check(FHD,k) starting at the clique bound,
+// the exact elimination DP for small pieces, min-fill upper bounds —
+// under context deadlines with a shared incumbent, recombination of the
+// per-piece witnesses into one validated decomposition, and a
+// fingerprint-keyed result cache (bounded by entries and by retained
+// bytes) for repeated queries. cmd/hgserve exposes it over HTTP;
+// cmd/hgwidth and the E12 corpus experiment in cmd/hgbench drive it
+// from the command line.
 package solve
 
 import (
@@ -151,13 +153,21 @@ type call struct {
 }
 
 // NewSolver returns a Solver with a cache of cacheSize entries
-// (0 = default size, negative = no cache) and the given per-solve block
-// parallelism (0 = GOMAXPROCS).
+// (0 = default size, negative = no cache) under the default byte bound,
+// and the given per-solve block parallelism (0 = GOMAXPROCS).
 func NewSolver(cacheSize, workers int) *Solver {
 	var c *Cache
 	if cacheSize >= 0 {
 		c = NewCache(cacheSize)
 	}
+	return NewSolverWithCache(c, workers)
+}
+
+// NewSolverWithCache returns a Solver using the given cache (nil
+// disables caching) and per-solve block parallelism (0 = GOMAXPROCS).
+// Use NewCacheBytes to bound the cache by retained bytes as well as
+// entry count.
+func NewSolverWithCache(c *Cache, workers int) *Solver {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
