@@ -1,0 +1,185 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hypertree/internal/corpus"
+)
+
+const corpusDir = "../../testdata/corpus"
+
+var goldenPath = filepath.Join(corpusDir, "GOLDEN.tsv")
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRunReproducesGolden is the CI smoke in miniature: hgcorpus run on
+// the checked-in corpus must reproduce the golden widths.
+func TestRunReproducesGolden(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "results.jsonl")
+	code, stdout, stderr := runCLI(t, "run", "-q", "-out", out, "-golden", goldenPath, corpusDir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "golden: 30 instances match") {
+		t.Fatalf("missing golden confirmation:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "30 instances: 30 exact") {
+		t.Fatalf("missing summary:\n%s", stdout)
+	}
+
+	// stats over the written log agrees.
+	code, stdout, stderr = runCLI(t, "stats", "-golden", goldenPath, out)
+	if code != 0 {
+		t.Fatalf("stats exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "golden: 30 instances match") {
+		t.Fatalf("stats missing golden confirmation:\n%s", stdout)
+	}
+}
+
+// TestResumeSkipsSolved simulates the kill+rerun cycle through the CLI:
+// the resume run must skip every fingerprint the first run logged.
+func TestResumeSkipsSolved(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "results.jsonl")
+
+	// Seed the log by solving a two-instance sub-corpus via an index.
+	idx := filepath.Join(dir, "index.txt")
+	tri, _ := filepath.Abs(filepath.Join(corpusDir, "triangle.hg"))
+	p6, _ := filepath.Abs(filepath.Join(corpusDir, "path_6.hg"))
+	if err := os.WriteFile(idx, []byte(tri+"\n"+p6+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCLI(t, "run", "-q", "-out", out, idx); code != 0 {
+		t.Fatalf("seed run failed: %s", stderr)
+	}
+	seeded, err := corpus.ReadResults(out)
+	if err != nil || len(seeded) != 2 {
+		t.Fatalf("seed log: %v %d", err, len(seeded))
+	}
+
+	// Resume over the full corpus: progress lines mark the skips.
+	code, stdout, stderr := runCLI(t, "resume", "-out", out, "-golden", goldenPath, corpusDir)
+	if code != 0 {
+		t.Fatalf("resume exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	// triangle + its reformatted twin k3_pace, path_6 + its twin chain_5.
+	if got := strings.Count(stderr, "(resumed)"); got != 4 {
+		t.Fatalf("resumed %d instances, want 4\n%s", got, stderr)
+	}
+}
+
+func TestStatsOnMissingLog(t *testing.T) {
+	if code, _, _ := runCLI(t, "stats", filepath.Join(t.TempDir(), "none.jsonl")); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 1 {
+		t.Error("no args: want exit 1")
+	}
+	if code, _, _ := runCLI(t, "frobnicate"); code != 1 {
+		t.Error("unknown command: want exit 1")
+	}
+	if code, _, _ := runCLI(t, "run"); code != 1 {
+		t.Error("run without path: want exit 1")
+	}
+	if code, stdout, _ := runCLI(t, "help"); code != 0 || !strings.Contains(stdout, "usage") {
+		t.Error("help: want usage on stdout, exit 0")
+	}
+}
+
+// TestWriteGolden round-trips: a fresh golden written by the CLI equals
+// the checked-in one.
+func TestWriteGolden(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "results.jsonl")
+	golden := filepath.Join(dir, "golden.tsv")
+	if code, _, stderr := runCLI(t, "run", "-q", "-out", out, "-write-golden", golden, corpusDir); code != 0 {
+		t.Fatalf("run failed: %s", stderr)
+	}
+	got, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("regenerated golden differs from checked-in:\n%s", got)
+	}
+}
+
+// TestResumeCompletesLogForTwins is the regression test for a killed
+// run that had solved a twin but not the instance itself: resume must
+// leave a log that a standalone stats -golden pass accepts.
+func TestResumeCompletesLogForTwins(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "results.jsonl")
+	if code, _, stderr := runCLI(t, "run", "-q", "-out", out, corpusDir); code != 0 {
+		t.Fatalf("run failed: %s", stderr)
+	}
+	// Drop triangle's record, keeping its fingerprint twin k3_pace.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if !strings.Contains(line, `"name":"triangle"`) {
+			kept = append(kept, line)
+		}
+	}
+	if len(kept) != 29 {
+		t.Fatalf("expected to drop exactly one line, kept %d", len(kept))
+	}
+	if err := os.WriteFile(out, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, _, stderr := runCLI(t, "resume", "-q", "-out", out, "-golden", goldenPath, corpusDir); code != 0 {
+		t.Fatalf("resume failed: %s", stderr)
+	}
+	// The twin-resumed instance was re-logged under its own name, so
+	// stats over the log alone agrees with the golden file.
+	if code, stdout, stderr := runCLI(t, "stats", "-golden", goldenPath, out); code != 0 {
+		t.Fatalf("stats over resumed log failed (exit %d)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+// TestStatsDedupesRetriedInstances: a log holding both a failed/partial
+// attempt and the successful retry reports the instance once.
+func TestStatsDedupesRetriedInstances(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "results.jsonl")
+	if code, _, stderr := runCLI(t, "run", "-q", "-out", out, corpusDir); code != 0 {
+		t.Fatalf("run failed: %s", stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepend a partial attempt for bowtie, as a budget-starved first
+	// run would have logged before being resumed.
+	stale := `{"name":"bowtie","fingerprint":"ffff","measure":"ghw","lower":"2","exact":false,"partial":true,"elapsed_ms":1,"classes":{}}` + "\n"
+	if err := os.WriteFile(out, append([]byte(stale), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "stats", "-golden", goldenPath, out)
+	if code != 0 {
+		t.Fatalf("stats exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "golden: 30 instances match") {
+		t.Fatalf("dedupe failed:\n%s", stdout)
+	}
+}

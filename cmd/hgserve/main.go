@@ -12,17 +12,25 @@
 //	POST /width      {"hypergraph": "e1(a,b), e2(b,c)", "measure": "ghw",
 //	                  "timeout_ms": 500}
 //	                 → width bounds, exactness, strategy, cache status.
-//	                 A conjunctive query can be posted instead via
+//	                 The hypergraph may be in any corpus-supported
+//	                 format (edge-list, PACE htd, JSON — auto-detected);
+//	                 a conjunctive query can be posted instead via
 //	                 {"query": "r(X,Y), s(Y,Z)"}.
 //	POST /decompose  same request; additionally returns the validated
 //	                 witness decomposition (text format, or GML with
 //	                 {"format": "gml"}).
-//	GET  /healthz    liveness plus serving/cache statistics.
+//	POST /batch      {"instances": [{"name": "q1", "hypergraph": ...},
+//	                  ...], "measure": "ghw", "timeout_ms": 500}
+//	                 → an NDJSON stream: one "result" (or "error") line
+//	                 per instance as it finishes, a "progress" line
+//	                 after each, and a final "done" line.
+//	GET  /healthz    liveness plus serving/cache/batch statistics.
 //
 // At most -workers solves run concurrently (GOMAXPROCS by default); up
 // to -queue further requests wait for a slot, and anything beyond that
-// is shed with 503. SIGINT/SIGTERM drain in-flight requests before
-// exit.
+// is shed with 503. A batch occupies one admission slot and its
+// instances borrow worker slots individually, sharded corpus-runner
+// style. SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
@@ -39,7 +47,6 @@ import (
 	"syscall"
 	"time"
 
-	"hypertree/internal/csp"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/solve"
 )
@@ -94,6 +101,9 @@ type server struct {
 	served   atomic.Int64
 	rejected atomic.Int64
 	inflight atomic.Int64
+
+	batchInflight atomic.Int64 // /batch requests currently streaming
+	batchQueued   atomic.Int64 // batch instances admitted but not yet answered
 }
 
 func newServer(workers, queue, cacheSize int, cacheBytes int64, timeout, maxTimeout time.Duration) *server {
@@ -127,13 +137,15 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /width", s.handleSolve(false))
 	mux.HandleFunc("POST /decompose", s.handleSolve(true))
+	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
 // widthRequest is the JSON body of /width and /decompose.
 type widthRequest struct {
-	// Hypergraph in edge-list format: "e1(a,b), e2(b,c)".
+	// Hypergraph in any corpus-supported format, auto-detected:
+	// edge-list "e1(a,b), e2(b,c)", PACE htd, or JSON.
 	Hypergraph string `json:"hypergraph,omitempty"`
 	// Query is an alternative input: a conjunctive query
 	// "ans(X) :- r(X,Y), s(Y,Z)." or bare body "r(X,Y), s(Y,Z)".
@@ -272,41 +284,35 @@ func (s *server) handleSolve(withWitness bool) http.HandlerFunc {
 	}
 }
 
-// parseInput builds the hypergraph from whichever input field is set.
+// parseInput builds the hypergraph from whichever input field is set,
+// sharing the dispatch (and format auto-detection) with /batch.
 func parseInput(req widthRequest) (*hypergraph.Hypergraph, error) {
-	switch {
-	case req.Hypergraph != "" && req.Query != "":
-		return nil, fmt.Errorf(`give "hypergraph" or "query", not both`)
-	case req.Hypergraph != "":
-		return hypergraph.Parse(req.Hypergraph)
-	case req.Query != "":
-		q, err := csp.ParseCQ(req.Query)
-		if err != nil {
-			return nil, err
-		}
-		return q.H, nil
-	}
-	return nil, fmt.Errorf(`missing "hypergraph" or "query"`)
+	h, _, err := parseBatchInstance(batchInstance{Hypergraph: req.Hypergraph, Query: req.Query})
+	return h, err
 }
 
 type healthzResponse struct {
-	Status   string            `json:"status"`
-	UptimeS  int64             `json:"uptime_s"`
-	Workers  int               `json:"workers"`
-	Inflight int64             `json:"inflight"`
-	Served   int64             `json:"served"`
-	Rejected int64             `json:"rejected"`
-	Cache    *solve.CacheStats `json:"cache,omitempty"`
+	Status        string            `json:"status"`
+	UptimeS       int64             `json:"uptime_s"`
+	Workers       int               `json:"workers"`
+	Inflight      int64             `json:"inflight"`
+	Served        int64             `json:"served"`
+	Rejected      int64             `json:"rejected"`
+	BatchInflight int64             `json:"batch_inflight"`
+	BatchQueued   int64             `json:"batch_queued"`
+	Cache         *solve.CacheStats `json:"cache,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := healthzResponse{
-		Status:   "ok",
-		UptimeS:  int64(time.Since(s.started).Seconds()),
-		Workers:  s.workers,
-		Inflight: s.inflight.Load(),
-		Served:   s.served.Load(),
-		Rejected: s.rejected.Load(),
+		Status:        "ok",
+		UptimeS:       int64(time.Since(s.started).Seconds()),
+		Workers:       s.workers,
+		Inflight:      s.inflight.Load(),
+		Served:        s.served.Load(),
+		Rejected:      s.rejected.Load(),
+		BatchInflight: s.batchInflight.Load(),
+		BatchQueued:   s.batchQueued.Load(),
 	}
 	if c := s.solver.Cache(); c != nil {
 		st := c.Stats()

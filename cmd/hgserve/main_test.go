@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"net/http"
@@ -120,6 +121,142 @@ func TestBadInput(t *testing.T) {
 		"parse error": `{"hypergraph": "e1(a,"}`,
 	} {
 		resp, err := http.Post(ts.URL+"/width", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestWidthMultiFormat: /width must accept any corpus-supported format
+// via auto-detection, not just the native edge-list text.
+func TestWidthMultiFormat(t *testing.T) {
+	ts := testServer(t)
+	pace := "c a triangle\np htd 3 3\n1 1 2\n2 2 3\n3 3 1\n"
+	jsonHG := `{"edges":[{"name":"e1","vertices":["a","b"]},{"name":"e2","vertices":["b","c"]},{"name":"e3","vertices":["c","a"]}]}`
+	for name, input := range map[string]string{"pace": pace, "json": jsonHG} {
+		resp, wr := post(t, ts, "/width", widthRequest{Hypergraph: input, Measure: "ghw"})
+		if resp.StatusCode != http.StatusOK || !wr.Exact || wr.Upper != "2" {
+			t.Errorf("%s: status %d, %+v", name, resp.StatusCode, wr)
+		}
+	}
+}
+
+// TestBatchEndpoint drives the streaming NDJSON round trip end to end:
+// per-instance result lines, interleaved progress lines, a final done
+// line, and correct widths for a mixed-format batch with one bad
+// instance.
+func TestBatchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := batchRequest{
+		Measure: "ghw",
+		Instances: []batchInstance{
+			{Name: "tri", Hypergraph: "e1(a,b), e2(b,c), e3(c,a)"},
+			{Name: "tri-pace", Hypergraph: "p htd 3 3\n1 1 2\n2 2 3\n3 3 1\n"},
+			{Name: "path", Hypergraph: `{"edges":[{"vertices":["x","y"]},{"vertices":["y","z"]}]}`},
+			{Name: "cq", Query: "ans(X) :- r(X,Y), s(Y,Z), t(Z,X)."},
+			{Name: "bad", Hypergraph: "e1(a,"},
+		},
+	}
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	type line struct {
+		Type  string `json:"type"`
+		Name  string `json:"name"`
+		Error string `json:"error"`
+		Upper string `json:"upper"`
+		Exact bool   `json:"exact"`
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+	}
+	results := map[string]line{}
+	var progress, doneLines int
+	lastDone := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch l.Type {
+		case "result", "error":
+			results[l.Name] = l
+		case "progress":
+			progress++
+			if l.Total != 5 || l.Done <= lastDone {
+				t.Fatalf("bad progress line: %+v (last done %d)", l, lastDone)
+			}
+			lastDone = l.Done
+		case "done":
+			doneLines++
+			if l.Total != 5 {
+				t.Fatalf("bad done line: %+v", l)
+			}
+		default:
+			t.Fatalf("unknown line type %q", l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 || progress != 5 || doneLines != 1 {
+		t.Fatalf("got %d results, %d progress, %d done", len(results), progress, doneLines)
+	}
+	for name, wantUpper := range map[string]string{"tri": "2", "tri-pace": "2", "path": "1", "cq": "2"} {
+		r := results[name]
+		if r.Type != "result" || !r.Exact || r.Upper != wantUpper {
+			t.Errorf("%s: %+v, want exact upper %s", name, r, wantUpper)
+		}
+	}
+	if r := results["bad"]; r.Type != "error" || r.Error == "" {
+		t.Errorf("bad instance: %+v", r)
+	}
+
+	// The batch counters must return to zero once the stream completes,
+	// and healthz must expose them.
+	var hr healthzResponse
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if err := json.NewDecoder(hresp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.BatchInflight != 0 || hr.BatchQueued != 0 {
+		t.Fatalf("batch counters not drained: %+v", hr)
+	}
+	if hr.Served < 4 {
+		t.Fatalf("served %d, want ≥ 4", hr.Served)
+	}
+}
+
+// TestBatchBadRequests covers the batch admission errors.
+func TestBatchBadRequests(t *testing.T) {
+	ts := testServer(t)
+	for name, body := range map[string]string{
+		"not json":     "{",
+		"no instances": `{"instances": []}`,
+		"bad measure":  `{"instances": [{"hypergraph": "e1(a,b)"}], "measure": "tw"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,8 +9,10 @@
 //	hgwidth [-measures hw,ghw,fhw] [-timeout 30s] [-no-preprocess]
 //	        [-exact] [-heuristic] [-check k] [-show] [-gml] [file]
 //
-// The hypergraph is read from the file (or stdin) in edge-list format:
-// e1(a,b,c), e2(c,d). The default run routes every measure through the
+// The hypergraph is read from the file (or stdin) in any
+// corpus-supported format, auto-detected: the edge-list format
+// e1(a,b,c), e2(c,d), the PACE-2019 htd format, or the JSON form (see
+// internal/corpus). The default run routes every measure through the
 // internal/solve portfolio (preprocessing, strategy race, witness
 // stitching) under the -timeout budget; SIGINT cancels gracefully and
 // the bounds proven so far are still reported. With -exact, the
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"hypertree/internal/core"
+	"hypertree/internal/corpus"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/solve"
@@ -54,7 +57,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	h, err := hypergraph.Parse(input)
+	h, format, err := corpus.DecodeString(input)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,8 +69,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("vertices=%d edges=%d rank=%d degree=%d\n",
-		h.NumVertices(), h.NumEdges(), h.Rank(), h.Degree())
+	fmt.Printf("format=%s vertices=%d edges=%d rank=%d degree=%d\n",
+		format, h.NumVertices(), h.NumEdges(), h.Rank(), h.Degree())
 	fmt.Printf("iwidth=%d 3-miwidth=%d acyclic=%v connected=%v\n",
 		h.IntersectionWidth(), h.MultiIntersectionWidth(3), h.IsAcyclic(), h.IsConnected())
 

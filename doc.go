@@ -6,10 +6,9 @@
 // NP-hardness reduction of Theorem 3.2 and a decomposition-guided
 // conjunctive-query evaluator.
 //
-// The implementation lives under internal/; see README.md for the map
-// and DESIGN.md for the per-experiment index. The benchmarks in
-// bench_test.go regenerate every table- and figure-shaped artifact of
-// the paper (experiments E1–E14).
+// The implementation lives under internal/; see README.md for the map.
+// The benchmarks in bench_test.go regenerate every table- and
+// figure-shaped artifact of the paper (experiments E1–E14).
 //
 // The tractable Check(·,k) procedures all run on one cover-oracle
 // engine (internal/core/engine.go): a memoized top-down (component,
@@ -39,7 +38,17 @@
 // shared incumbent, witness stitching (decomp.Combine) and a
 // fingerprint-keyed result cache bounded by entries and by retained
 // bytes. cmd/hgserve exposes it as an HTTP/JSON service (/width,
-// /decompose, /healthz) with a worker pool and per-request budgets;
-// cmd/hgwidth and the E12 corpus experiment drive it from the command
-// line.
+// /decompose, /healthz, and a streaming NDJSON /batch endpoint) with a
+// worker pool and per-request budgets; cmd/hgwidth and the E12 corpus
+// experiment drive it from the command line.
+//
+// internal/corpus opens the stack to HyperBench-shaped workloads (see
+// CORPUS.md): the detkdecomp edge-list, PACE-2019 htd and JSON formats
+// behind one auto-detecting fuzz-covered Decode/Encode API, and a
+// sharded corpus runner with per-instance budgets, resumable JSONL
+// results keyed by canonical fingerprints, and structural
+// classification by the paper's tractable classes (acyclic, BIP, BMIP,
+// BDP). cmd/hgcorpus runs, resumes and verifies whole corpora against
+// golden width files; the checked-in testdata/corpus is the
+// 30-instance reference.
 package hypertree

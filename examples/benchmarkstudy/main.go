@@ -1,67 +1,106 @@
-// benchmarkstudy: a HyperBench-style structural study of a synthetic
-// CQ/CSP corpus — the empirical observation motivating the paper's
+// benchmarkstudy: a HyperBench-style structural study of a hypergraph
+// corpus — the empirical observation motivating the paper's
 // restrictions: real workloads overwhelmingly have small intersection
 // widths (BIP/BMIP), small degrees (BDP), and small widths, so the
 // tractable cases of Check(GHD,k)/Check(FHD,k) are the common ones.
+//
+// The corpus is loaded from disk through internal/corpus (any mix of
+// edge-list, PACE htd and JSON instances); the checked-in mini corpus
+// under testdata/corpus is the default. Point -corpus at a directory of
+// HyperBench instances to reproduce the study on the real data.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"math/rand"
+	"os"
 
 	"hypertree/internal/core"
-	"hypertree/internal/csp"
+	"hypertree/internal/corpus"
 	"hypertree/internal/lp"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(2024))
-	corpus := csp.SyntheticCorpus(rng, 8)
-	s := csp.Collect(corpus)
-	pct := func(a int) float64 { return 100 * float64(a) / float64(s.Total) }
+	dir := flag.String("corpus", "testdata/corpus", "corpus directory or index file")
+	flag.Parse()
 
-	fmt.Println("synthetic corpus (HyperBench shapes: chains, stars, cycles,")
-	fmt.Println("snowflakes, random CQs and CSPs)")
-	fmt.Printf("  instances:      %d (avg %.1f vars, %.1f atoms)\n",
-		s.Total, float64(s.TotalVertices)/float64(s.Total), float64(s.TotalEdges)/float64(s.Total))
-	fmt.Printf("  acyclic:        %.0f%%\n", pct(s.Acyclic))
-	fmt.Printf("  iwidth ≤ 2:     %.0f%%   (the BIP premise)\n", pct(s.IWidthLE2))
-	fmt.Printf("  3-miwidth ≤ 1:  %.0f%%   (the BMIP premise)\n", pct(s.MIWidth3LE1))
-	fmt.Printf("  degree ≤ 3:     %.0f%%   (the BDP premise)\n", pct(s.DegreeLE3))
+	instances, err := corpus.Load(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmarkstudy:", err)
+		fmt.Fprintln(os.Stderr, "run from the repository root, or pass -corpus <dir>")
+		os.Exit(1)
+	}
 
-	// Width profile over the tractably-sized instances.
-	fmt.Println("\nwidth profile (instances with ≤ 14 atoms):")
+	var total, acyclic, bip, bmip, bdp, verts, edges int
 	counts := map[int]int{}
-	fracBeats := 0
-	sampled := 0
-	for _, q := range corpus.Queries {
-		if q.H.NumEdges() > 14 || q.H.NumVertices() > 18 {
+	fracBeats, sampled, hwOver4 := 0, 0, 0
+	for _, in := range instances {
+		h, _, err := in.Read()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchmarkstudy: %s: %v\n", in.Name, err)
+			os.Exit(1)
+		}
+		c := corpus.Classify(h)
+		total++
+		verts += h.NumVertices()
+		edges += h.NumEdges()
+		if c.Acyclic {
+			acyclic++
+		}
+		if c.BIP {
+			bip++
+		}
+		if c.BMIP {
+			bmip++
+		}
+		if c.BDP {
+			bdp++
+		}
+
+		// Width profile over the tractably-sized instances.
+		if h.NumEdges() > 14 || h.NumVertices() > 18 {
 			continue
 		}
 		sampled++
 		w := 0
 		for k := 1; k <= 4; k++ {
-			if d := core.CheckHD(q.H, k); d != nil {
+			if d := core.CheckHD(h, k); d != nil {
 				w = k
 				break
 			}
 		}
+		if w == 0 {
+			hwOver4++
+			continue
+		}
 		counts[w]++
 		// Does the fractional relaxation beat the integral width?
-		if q.H.NumVertices() <= 14 {
-			fhw, _ := core.ExactFHW(q.H)
+		if h.NumVertices() <= 14 {
+			fhw, _ := core.ExactFHW(h)
 			if fhw != nil && fhw.Cmp(lp.RI(int64(w))) < 0 {
 				fracBeats++
 			}
 		}
 	}
+
+	pct := func(a int) float64 { return 100 * float64(a) / float64(total) }
+	fmt.Printf("corpus %s (HyperBench shapes: paths, cycles, grids, cliques,\n", *dir)
+	fmt.Println("hypercycles, stars, chains, snowflakes and CQ patterns)")
+	fmt.Printf("  instances:      %d (avg %.1f vertices, %.1f edges)\n",
+		total, float64(verts)/float64(total), float64(edges)/float64(total))
+	fmt.Printf("  acyclic:        %.0f%%\n", pct(acyclic))
+	fmt.Printf("  iwidth ≤ 2:     %.0f%%   (the BIP premise)\n", pct(bip))
+	fmt.Printf("  3-miwidth ≤ 1:  %.0f%%   (the BMIP premise)\n", pct(bmip))
+	fmt.Printf("  degree ≤ 3:     %.0f%%   (the BDP premise)\n", pct(bdp))
+
+	fmt.Printf("\nwidth profile (%d instances with ≤ 14 edges):\n", sampled)
 	for k := 1; k <= 4; k++ {
 		if counts[k] > 0 {
 			fmt.Printf("  hw = %d: %d instances\n", k, counts[k])
 		}
 	}
-	if counts[0] > 0 {
-		fmt.Printf("  hw > 4: %d instances\n", counts[0])
+	if hwOver4 > 0 {
+		fmt.Printf("  hw > 4: %d instances\n", hwOver4)
 	}
 	fmt.Printf("  fractional width strictly below hw: %d of %d sampled\n", fracBeats, sampled)
 	fmt.Println("\nconclusion: like the HyperBench study [23], (multi-)intersections")

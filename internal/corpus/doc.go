@@ -1,0 +1,38 @@
+// Package corpus is the workload layer over internal/solve: multi-format
+// hypergraph I/O and a resumable, sharded corpus runner in the style of
+// the HyperBench study that grounds the paper empirically (Fischl,
+// Gottlob, Longo, Pichler 2018).
+//
+// # Formats
+//
+// Three on-disk formats are supported behind one auto-detecting API:
+//
+//   - FormatEdgeList — the HyperBench/detkdecomp text format the library
+//     has always spoken: "e1(a,b,c), e2(c,d)." with %, # or // comments.
+//   - FormatPACE — the PACE-2019-style htd format: "c" comment lines, a
+//     "p htd <vertices> <edges>" header, then one line per hyperedge
+//     "<edge-id> <v1> <v2> ...", all 1-based integers.
+//   - FormatJSON — a structured form, {"edges": [{"name": "e1",
+//     "vertices": ["a","b"]}, ...]} (a bare edge array also decodes).
+//
+// Decode sniffs the format from the content; DecodeAs and Encode pin it.
+// Fuzz targets (FuzzDecode*) exercise all three decoders.
+//
+// # Runner
+//
+// A corpus is a set of instances discovered by walking a directory
+// (LoadDir) or reading an index file (LoadIndex). Run shards the
+// instances over parallel workers, solves each through a solve.Solver
+// under a per-instance budget, and appends one JSON line per finished
+// instance to a results log. The log is the resume point: a rerun with
+// Resume set skips every instance whose canonical fingerprint already
+// has an exact result in the log, so a killed run loses at most the
+// instances that were in flight. Each record also classifies its
+// instance by the paper's tractable classes — acyclicity, iwidth
+// (BIP, Definition 4.1), 3-multi-intersection width (BMIP, Definition
+// 4.2) and degree (BDP, Definition 4.13) — so a finished run doubles as
+// a HyperBench-style structural study (see Report and CompareGolden).
+//
+// cmd/hgcorpus drives the runner from the command line; cmd/hgserve
+// reuses RunLoaded for its streaming /batch endpoint.
+package corpus

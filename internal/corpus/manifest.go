@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hypertree/internal/hypergraph"
+)
+
+// Instance is one corpus entry: a hypergraph file on disk.
+type Instance struct {
+	// Name identifies the instance in results and reports: the path
+	// relative to the corpus root, extension stripped.
+	Name string
+	// Path is the file's location.
+	Path string
+	// Format is the format the extension advertises (FormatUnknown means
+	// Read sniffs the content).
+	Format Format
+}
+
+// Read loads and decodes the instance.
+func (in Instance) Read() (*hypergraph.Hypergraph, Format, error) {
+	data, err := os.ReadFile(in.Path)
+	if err != nil {
+		return nil, FormatUnknown, err
+	}
+	if in.Format != FormatUnknown {
+		h, err := DecodeAs(data, in.Format)
+		return h, in.Format, err
+	}
+	return DecodeBytes(data)
+}
+
+// instanceName derives an instance name from a path relative to root.
+func instanceName(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = filepath.Base(path)
+	}
+	rel = filepath.ToSlash(rel)
+	return strings.TrimSuffix(rel, filepath.Ext(rel))
+}
+
+// LoadDir walks dir and returns an instance per file with a recognized
+// hypergraph extension (.hg, .dtl, .edge, .txt, .htd, .pace, .gr,
+// .json), sorted by name. Results logs (.jsonl), golden files (.tsv)
+// and anything else are ignored.
+func LoadDir(dir string) ([]Instance, error) {
+	var out []Instance
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		f := FormatForPath(path)
+		if f == FormatUnknown {
+			return nil
+		}
+		out = append(out, Instance{Name: instanceName(dir, path), Path: path, Format: f})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpus: no instances under %s", dir)
+	}
+	disambiguate(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// disambiguate restores the file extension on instance names that
+// would otherwise collide (foo.hg and foo.json are distinct instances
+// and must stay distinct in logs, stats and golden files).
+func disambiguate(instances []Instance) {
+	count := map[string]int{}
+	for _, in := range instances {
+		count[in.Name]++
+	}
+	for i := range instances {
+		if count[instances[i].Name] > 1 {
+			instances[i].Name += filepath.Ext(instances[i].Path)
+		}
+	}
+}
+
+// LoadIndex reads an index file: one instance path per line, relative
+// to the index file's directory, with blank lines and #-comments
+// skipped. Order is preserved.
+func LoadIndex(path string) ([]Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	root := filepath.Dir(path)
+	var out []Instance
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		p := t
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(root, p)
+		}
+		out = append(out, Instance{Name: instanceName(root, p), Path: p, Format: FormatForPath(p)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpus: index %s lists no instances", path)
+	}
+	disambiguate(out)
+	return out, nil
+}
+
+// Load builds a manifest from path: a directory is walked (LoadDir),
+// anything else is read as an index file (LoadIndex).
+func Load(path string) ([]Instance, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		return LoadDir(path)
+	}
+	return LoadIndex(path)
+}
