@@ -139,7 +139,10 @@ func BenchmarkE07CheckGHDBIP(b *testing.B) {
 }
 
 // BenchmarkE08CheckFHDBDP — Theorem 5.2: Check(FHD,k) under bounded
-// degree.
+// degree. The lazy leg is the default since PR 5 (per-scope f⁺ atoms,
+// warm-started cover LPs); the eager leg reconstructs the pre-PR-5
+// pipeline by materializing the full closure and passing it through
+// FHDOptions.Subedges.
 func BenchmarkE08CheckFHDBDP(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	h := hypergraph.RandomBoundedDegree(rng, 7, 5, 3, 2)
@@ -147,13 +150,54 @@ func BenchmarkE08CheckFHDBDP(b *testing.B) {
 	if fhw == nil {
 		b.Skip("degenerate instance")
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d, err := core.CheckFHD(h, fhw, core.FHDOptions{})
-		if err != nil || d == nil {
-			b.Fatal("CheckFHD must accept at fhw")
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := core.CheckFHD(h, fhw, core.FHDOptions{})
+			if err != nil || d == nil {
+				b.Fatal("CheckFHD must accept at fhw")
+			}
 		}
-	}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subs, err := core.FullSubedgeClosure(h, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := core.CheckFHD(h, fhw, core.FHDOptions{Subedges: subs})
+			if err != nil || d == nil {
+				b.Fatal("CheckFHD must accept at fhw")
+			}
+		}
+	})
+}
+
+// BenchmarkE08CheckFHDGrid — the FHD check on grid instances, where the
+// support enumeration solves long runs of sibling cover LPs (the
+// warm-start + lazy-closure showcase of PR 5).
+func BenchmarkE08CheckFHDGrid(b *testing.B) {
+	h := hypergraph.Grid(2, 4)
+	k := lp.RI(2) // fhw(grid 2×4) = 2
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := core.CheckFHD(h, k, core.FHDOptions{})
+			if err != nil || d == nil {
+				b.Fatal("CheckFHD must accept the 2×4 grid at 2")
+			}
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subs, err := core.FullSubedgeClosure(h, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := core.CheckFHD(h, k, core.FHDOptions{Subedges: subs})
+			if err != nil || d == nil {
+				b.Fatal("CheckFHD must accept the 2×4 grid at 2")
+			}
+		}
+	})
 }
 
 // BenchmarkE09UnboundedSupport — Example 5.1: ρ*(H_n) = 2 − 1/n with
@@ -289,6 +333,61 @@ func BenchmarkLPCover(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkLPWarmVsCold — the PR-5 incremental engine against one-shot
+// solves on a DFS-shaped sequence of sibling cover LPs: push the edges
+// of K_n one by one, solving the cover LP of the union after each push,
+// then walk the last stack slot through every remaining edge (a
+// retire+add+re-solve per sibling, the FHD oracle's innermost move).
+// The warm leg keeps one lp.WarmProblem basis alive across the
+// sequence; the cold leg rebuilds each LP with cover.SolveCoverLP as
+// the pre-PR-5 oracle did.
+func BenchmarkLPWarmVsCold(b *testing.B) {
+	k := hypergraph.Clique(8)
+	grow := k.NumEdges() / 2
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stack := make([]int, 0, grow)
+			solve := func() {
+				union := hypergraph.NewVertexSet(k.NumVertices())
+				for _, e := range stack {
+					union = union.UnionInPlace(k.Edge(e))
+				}
+				if w, _ := cover.SolveCoverLP(k, stack, union); w == nil {
+					b.Fatal("cover LP failed")
+				}
+			}
+			stack = append(stack, 0)
+			for e := 1; e < grow; e++ {
+				stack = append(stack, e)
+				solve()
+			}
+			for e := grow; e < k.NumEdges(); e++ {
+				stack[len(stack)-1] = e
+				solve()
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ic := cover.NewIncremental(k.Vertices())
+			ic.Push(0, k.Edge(0))
+			for e := 1; e < grow; e++ {
+				ic.Push(e, k.Edge(e))
+				if ic.Solve() == nil {
+					b.Fatal("cover LP failed")
+				}
+			}
+			for e := grow; e < k.NumEdges(); e++ {
+				ic.Pop()
+				ic.Push(e, k.Edge(e))
+				if ic.Solve() == nil {
+					b.Fatal("cover LP failed")
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkE07FPTInIntersectionWidth — Theorem 4.15: Check(GHD,k) is FPT

@@ -20,9 +20,19 @@
 // per subproblem scope — original edges are tried first and subedges
 // are carved only from edges meeting the current scope, interned in a
 // shared pool — instead of materializing the closure up front; the FHD
-// oracle picks bounded supports whose exact cover LPs are memoized on
-// the interned support set; and Algorithm 3's frac-decomp oracle guesses
-// integral-plus-fractional parts with trimmed witness bags. The
+// oracle picks bounded supports over the same kind of lazily generated
+// per-scope atom pool (f⁺ restricted to the scope, with the h_{d,k}
+// closure as a capped fallback), with the exact cover LPs memoized on
+// the interned support set and warm-started across sibling guesses; and
+// Algorithm 3's frac-decomp oracle guesses integral-plus-fractional
+// parts with trimmed witness bags. Those warm starts run on
+// internal/lp's incremental engine (lp.WarmProblem): alongside the
+// one-shot two-phase simplex (lp.Problem.Solve), a ≤-form maximization
+// can keep its factored basis alive across AddRow/RetireRow/
+// SetObjective edits and re-solve with a few dual-simplex pivots,
+// falling back to a cold start when the basis goes stale;
+// cover.Incremental and cover.TargetLP wrap it for the two covering-LP
+// access patterns the oracles produce. The
 // hypergraph core underneath is incidence-indexed: per-vertex edge
 // bitsets back edges(C), [C]-components and single-edge cover
 // detection; memo keys are interned integers; the exact-width DP and

@@ -115,33 +115,11 @@ func CheckGHDViaBIPCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, opt
 	return checkGHD(h, k, opt, false, ctx.Done())
 }
 
-// FHDSubedgesCtx precomputes the default candidate pool CheckFHD uses
-// when FHDOptions.Subedges is nil: the full subedge closure under the
-// cap (0 = library default). The closure does not depend on k, so
-// iterative-deepening callers compute it once and pass it through
-// FHDOptions.Subedges instead of re-enumerating per level. When the
-// closure exceeds the cap it returns (nil, nil): the right pool is then
-// CheckFHD's per-call h_{d,k} fallback, which does depend on k.
-func FHDSubedgesCtx(ctx context.Context, h *hypergraph.Hypergraph, maxSubedges int) (subs []hypergraph.VertexSet, err error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	defer recoverCanceled(ctx, &err)
-	max := maxSubedges
-	if max == 0 {
-		max = defaultMaxSubedges
-	}
-	subs, serr := fullSubedgeClosure(h, max, ctx.Done())
-	if serr != nil {
-		return nil, nil // over the cap: fall back per level
-	}
-	return subs, nil
-}
-
-// CheckFHDCtx is CheckFHD under a context: the default subedge closure
-// and the engine search are cancellable (a single in-flight cover LP is
-// not, matching the other searches). The fhw portfolio races this as an
-// upper-bound strategy.
+// CheckFHDCtx is CheckFHD under a context: the lazy per-scope subedge
+// generation and the engine search are cancellable (a single in-flight
+// cover LP is not, matching the other searches). The fhw portfolio
+// races this as an upper-bound strategy; with the lazy default there is
+// no pool to precompute across deepening levels anymore.
 func CheckFHDCtx(ctx context.Context, h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions) (d *decomp.Decomp, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

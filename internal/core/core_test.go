@@ -72,11 +72,8 @@ func TestCheckGHDViaBIPOnH0(t *testing.T) {
 	if d == nil {
 		t.Fatal("ghw(H0) = 2; BIP check must find a width-2 GHD")
 	}
-	if err := d.Validate(decomp.GHD); err != nil {
+	if err := d.ValidateWidth(decomp.GHD, lp.RI(2)); err != nil {
 		t.Fatal(err)
-	}
-	if d.Width().Cmp(lp.RI(2)) > 0 {
-		t.Fatalf("width %v > 2", d.Width())
 	}
 	// No width-1 GHD (H0 is cyclic).
 	d1, err := CheckGHDViaBIP(h, 1, Options{})

@@ -128,11 +128,8 @@ func TestCheckHDMatchesReference(t *testing.T) {
 				t.Fatalf("CheckHD(%v, %d) = %v, reference says %v", h, k, d != nil, want)
 			}
 			if d != nil {
-				if err := d.Validate(decomp.HD); err != nil {
+				if err := d.ValidateWidth(decomp.HD, lp.RI(int64(k))); err != nil {
 					t.Fatalf("CheckHD(%v, %d) witness invalid: %v", h, k, err)
-				}
-				if d.Width().Cmp(lp.RI(int64(k))) > 0 {
-					t.Fatalf("CheckHD(%v, %d) witness width %v > k", h, k, d.Width())
 				}
 			}
 		}
@@ -149,7 +146,7 @@ func TestCheckHDMatchesReferenceRandom(t *testing.T) {
 			if (d != nil) != want {
 				return false
 			}
-			if d != nil && d.Validate(decomp.HD) != nil {
+			if d != nil && d.ValidateWidth(decomp.HD, lp.RI(int64(k))) != nil {
 				return false
 			}
 		}
@@ -176,11 +173,8 @@ func TestLazyGHDMatchesEagerPipeline(t *testing.T) {
 					h, k, got != nil, want != nil)
 			}
 			if got != nil {
-				if err := got.Validate(decomp.GHD); err != nil {
+				if err := got.ValidateWidth(decomp.GHD, lp.RI(int64(k))); err != nil {
 					t.Fatalf("lazy witness invalid on %v at k=%d: %v", h, k, err)
-				}
-				if got.Width().Cmp(lp.RI(int64(k))) > 0 {
-					t.Fatalf("lazy witness width %v > k=%d", got.Width(), k)
 				}
 			}
 		}
@@ -200,7 +194,7 @@ func TestLazyGHDMatchesEagerPipelineRandom(t *testing.T) {
 			if err != nil || (got != nil) != (want != nil) {
 				return false
 			}
-			if got != nil && got.Validate(decomp.GHD) != nil {
+			if got != nil && got.ValidateWidth(decomp.GHD, lp.RI(int64(k))) != nil {
 				return false
 			}
 		}
@@ -224,7 +218,7 @@ func TestLazyGHDExactMatchesEagerClosure(t *testing.T) {
 			if err != nil || (got != nil) != (want != nil) {
 				return false
 			}
-			if got != nil && got.Validate(decomp.GHD) != nil {
+			if got != nil && got.ValidateWidth(decomp.GHD, lp.RI(int64(k))) != nil {
 				return false
 			}
 		}
@@ -305,7 +299,7 @@ func TestCheckFHDWitnessesOnRandom(t *testing.T) {
 			if err != nil || d == nil {
 				return false
 			}
-			if d.Validate(decomp.FHD) != nil || d.Width().Cmp(k) > 0 {
+			if d.ValidateWidth(decomp.FHD, k) != nil {
 				return false
 			}
 		}

@@ -21,11 +21,8 @@ func TestCheckFHDTriangle(t *testing.T) {
 	if d == nil {
 		t.Fatal("fhw(K3) = 3/2; check at 3/2 must succeed")
 	}
-	if err := d.Validate(decomp.FHD); err != nil {
+	if err := d.ValidateWidth(decomp.FHD, lp.R(3, 2)); err != nil {
 		t.Fatal(err)
-	}
-	if d.Width().Cmp(lp.R(3, 2)) > 0 {
-		t.Fatalf("width %v > 3/2", d.Width())
 	}
 	below, err := CheckFHD(h, lp.R(149, 100), FHDOptions{})
 	if err != nil {
@@ -45,7 +42,7 @@ func TestCheckFHDPath(t *testing.T) {
 	if d == nil {
 		t.Fatal("acyclic: fhw = 1")
 	}
-	if err := d.Validate(decomp.FHD); err != nil {
+	if err := d.ValidateWidth(decomp.FHD, lp.RI(1)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -64,7 +61,7 @@ func TestCheckFHDAgreesWithExactDP(t *testing.T) {
 		if err != nil || at == nil {
 			return false
 		}
-		if at.Validate(decomp.FHD) != nil || at.Width().Cmp(fhw) > 0 {
+		if at.ValidateWidth(decomp.FHD, fhw) != nil {
 			return false
 		}
 		if fhw.Cmp(lp.RI(1)) > 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/big"
 
 	"hypertree/internal/cover"
@@ -14,91 +15,184 @@ type FHDOptions struct {
 	// MaxSupport bounds |supp(γu)| per node. 0 means ⌊k·degree(H)⌋, the
 	// bound of Lemma 5.6.
 	MaxSupport int
-	// Subedges overrides the subedge closure added to H (Theorem 5.22
-	// uses h_{d,k}; the default is the full closure when it fits under
-	// MaxSubedges, which is complete for every hypergraph, falling back
-	// to HdkSubedges).
+	// Subedges overrides the candidate subedge pool (Theorem 5.22 uses
+	// h_{d,k}). When nil — the default — no pool is materialized at all:
+	// the oracle generates f⁺ atoms lazily per subproblem scope, exactly
+	// like the GHD oracle, which decides identically to the eager full
+	// closure. A non-nil pool restores the eager augmented-hypergraph
+	// path (the solve portfolio's precomputed pools, the differential
+	// tests' reconstruction).
 	Subedges []hypergraph.VertexSet
-	// MaxSubedges caps the default closure (0 = library default).
+	// MaxSubedges caps the number of distinct subedge atoms the lazy
+	// generator may intern over the whole run (0 = library default). If
+	// the cap trips, CheckFHD falls back to the eager h_{d,k} closure of
+	// Lemma 5.17 under the same cap.
 	MaxSubedges int
 }
 
+// fhdAtom is one candidate bag contribution for the FHD oracle: a
+// vertex set ⊆ scope, the id of its canonical copy in the shared pool
+// (which doubles as the LP-memo support key), and an original edge
+// containing it — witness covers are charged to originators, as in the
+// GHD-from-HD step of Theorem 4.11, so the engine recurses, and the
+// final FHD lives, on the original hypergraph.
+type fhdAtom struct {
+	set  hypergraph.VertexSet
+	id   int
+	orig int
+}
+
+// fhdCands is the per-scope candidate cache.
+type fhdCands struct {
+	scope hypergraph.VertexSet // canonical scope set
+	orig  []fhdAtom            // first-round atoms: e ∩ scope per edge e meeting scope
+	subs  []fhdAtom            // lazily generated subedge atoms
+	full  bool                 // subs has been generated (always true in eager mode)
+	seen  map[int]bool         // pool ids already present in orig/subs
+}
+
 // fhdOracle chooses covers for Check(FHD,k) per Theorem 5.22: a guess is
-// a set S of ≤ maxSupport augmented edges lying entirely inside the
-// scope W ∪ C (strict bags B = ⋃S), accepted when W ⊆ B, B ∩ C ≠ ∅ and
-// B admits a fractional cover of weight ≤ k by the edges of S (exact
-// LP). Witness covers are charged back to the originators of the
-// subedges, so the engine recurses — and the final FHD lives — on the
-// original hypergraph.
+// a set S of ≤ maxSupport candidate atoms lying inside the scope W ∪ C
+// (strict bags B = ⋃S), accepted when W ⊆ B, B ∩ C ≠ ∅ and B admits a
+// fractional cover of weight ≤ k by the atoms of S (exact LP).
 //
-// The oracle keeps two per-run caches. Candidate lists are cached per
-// scope (two subproblems with equal W ∪ C admit the same S guesses).
-// And the cover LPs are memoized on the interned support set: the bag
-// is determined by S, so sibling subproblems that re-derive the same
-// support reuse the finished solve outright — the engine's replacement
-// for warm-starting a simplex basis across sibling bag LPs, exact and
-// strictly cheaper than a warm start when it hits.
+// Like the GHD oracle, the subedge closure is generated lazily per
+// scope: the atoms e ∩ scope of the original edges are tried first, and
+// the f⁺ family restricted to the scope — every non-empty subset of
+// e ∩ scope — is generated only when the enumeration exhausts them.
+// This decides exactly like the eager full-closure pipeline (a closure
+// subedge s is a candidate iff s ⊆ scope, i.e. iff s ⊆ e ∩ scope for
+// its originator e), while subproblems that accept on first-round atoms
+// never materialize a single subedge. Atoms live in a pool shared
+// across scopes, so equal sets are stored once.
+//
+// The cover LPs are warm-started and memoized. Per subproblem the
+// oracle borrows an incremental solver (cover.Incremental) whose
+// simplex basis tracks the enumeration stack: moving to a sibling S
+// retires and adds a handful of cover rows and re-solves from the
+// previous optimal basis, falling back to a cold start only when the
+// basis goes stale. On top of that, solves are memoized on the interned
+// support set — the bag is determined by S, so sibling subproblems that
+// re-derive the same support skip the LP outright.
 type fhdOracle struct {
-	aug        *Augmented // candidate store: indexed augmented hypergraph + originators
+	h          *hypergraph.Hypergraph
 	k          *big.Rat
 	maxSupport int
+	maxSets    int
+	err        error // atom cap exceeded or subset enumeration refused
 
-	cands scopeCache[[]int] // per-scope augmented edge ids ⊆ scope
+	aug *Augmented // eager mode: explicit subedge pool (nil = lazy f⁺)
 
-	supports hypergraph.Interner      // interned chosen-edge bitsets
-	lpMemo   map[int]cover.Fractional // support id → γ (nil = no cover of weight ≤ k)
+	pool  hypergraph.Interner   // canonical atom sets, shared across scopes
+	nsubs int                   // distinct generated subedge atoms (cap accounting)
+	cands scopeCache[*fhdCands] // per-scope candidate cache
+
+	supports hypergraph.Interner      // interned chosen-atom id sets
+	lpMemo   map[int]map[int]*big.Rat // support id → atom id → weight (nil = no cover ≤ k)
+
+	incFree []*cover.Incremental // warm LP solvers, one per live recursion depth
 
 	// Scratch buffers; each is fully consumed before the engine recurses.
 	scope, b hypergraph.VertexSet
-	cset     hypergraph.VertexSet // chosen-edge bitset for support interning
+	cset     hypergraph.VertexSet // chosen-atom id bitset for support interning
 	ebuf     hypergraph.EdgeSet
 }
 
-func newFHDOracle(aug *Augmented, k *big.Rat, maxSupport int) *fhdOracle {
-	n := aug.Orig.NumVertices()
+func newFHDOracle(h *hypergraph.Hypergraph, aug *Augmented, k *big.Rat, maxSupport, maxSets int) *fhdOracle {
+	n := h.NumVertices()
 	return &fhdOracle{
-		aug: aug, k: k, maxSupport: maxSupport,
-		lpMemo: map[int]cover.Fractional{},
+		h: h, aug: aug, k: k, maxSupport: maxSupport, maxSets: maxSets,
+		lpMemo: map[int]map[int]*big.Rat{},
 		scope:  hypergraph.NewVertexSet(n),
 		b:      hypergraph.NewVertexSet(n),
-		cset:   hypergraph.NewVertexSet(aug.H.NumEdges()),
-		ebuf:   hypergraph.NewEdgeSet(aug.H.NumEdges()),
+		ebuf:   hypergraph.NewEdgeSet(h.NumEdges()),
 	}
 }
 
-func (o *fhdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, try func(engineGuess) bool) bool {
-	w := st.a
-	// Candidates: augmented edges entirely inside W ∪ C (strict bags
-	// B = ⋃S must stay inside W ∪ C). The incidence index narrows the
-	// scan to edges intersecting the scope; the subset test rules out
-	// the rest. The list is cached per scope.
-	o.scope = o.scope.CopyFrom(w).UnionInPlace(c)
-	candidates := o.cands.get(o.scope, func(canonScope hypergraph.VertexSet) []int {
-		var cands []int
-		o.ebuf = o.aug.H.EdgesIntersectingSet(canonScope, o.ebuf)
-		o.ebuf.ForEach(func(ed int) bool {
-			if o.aug.H.Edge(ed).IsSubsetOf(canonScope) {
-				cands = append(cands, ed)
-			}
-			return true
-		})
-		return cands
-	})
+// getInc borrows a warm incremental solver for one guesses invocation.
+// Child subproblems recurse from inside try, so invocations nest; each
+// holds its own solver and returns it on exit.
+func (o *fhdOracle) getInc(scope hypergraph.VertexSet) *cover.Incremental {
+	if n := len(o.incFree); n > 0 {
+		ic := o.incFree[n-1]
+		o.incFree = o.incFree[:n-1]
+		ic.Reset(scope)
+		return ic
+	}
+	return cover.NewIncremental(scope)
+}
 
-	chosen := make([]int, 0, o.maxSupport)
+func (o *fhdOracle) putInc(ic *cover.Incremental) {
+	o.incFree = append(o.incFree, ic)
+}
+
+func (o *fhdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, try func(engineGuess) bool) bool {
+	if o.err != nil {
+		return false
+	}
+	w := st.a
+	o.scope = o.scope.CopyFrom(w).UnionInPlace(c)
+	cd := o.cands.get(o.scope, o.buildCands)
+
+	// Subproblem-local candidate order: atoms intersecting C first (they
+	// create progress), first-round atoms before generated subedges so
+	// that the expensive generation only runs when they cannot finish
+	// the level.
+	var ordered []fhdAtom
+	appendOrdered := func(atoms []fhdAtom) {
+		for _, a := range atoms {
+			if a.set.Intersects(c) {
+				ordered = append(ordered, a)
+			}
+		}
+		for _, a := range atoms {
+			if !a.set.Intersects(c) {
+				ordered = append(ordered, a)
+			}
+		}
+	}
+	appendOrdered(cd.orig)
+	extended := cd.full
+	if extended {
+		appendOrdered(cd.subs)
+	}
+
+	inc := o.getInc(cd.scope)
+	defer o.putInc(inc)
+
+	chosen := make([]fhdAtom, 0, o.maxSupport)
 	var rec func(start int) bool
 	rec = func(start int) bool {
-		if len(chosen) > 0 && o.check(e, c, w, chosen, try) {
+		if o.err != nil {
+			return false
+		}
+		if len(chosen) > 0 && o.check(e, inc, c, w, chosen, try) {
 			return true
 		}
 		if len(chosen) == o.maxSupport {
 			return false
 		}
-		for i := start; i < len(candidates); i++ {
-			chosen = append(chosen, candidates[i])
+		for i := start; ; i++ {
+			if i >= len(ordered) {
+				if extended {
+					break
+				}
+				o.extend(e, cd) // idempotent: a deeper subproblem may have run it
+				extended = true
+				if o.err != nil {
+					return false
+				}
+				appendOrdered(cd.subs)
+				if i >= len(ordered) {
+					break
+				}
+			}
+			chosen = append(chosen, ordered[i])
+			inc.Push(ordered[i].id, ordered[i].set)
 			if rec(i + 1) {
 				return true
 			}
+			inc.Pop()
 			chosen = chosen[:len(chosen)-1]
 		}
 		return false
@@ -106,30 +200,112 @@ func (o *fhdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 	return rec(0)
 }
 
-func (o *fhdOracle) check(e *engine, c, w hypergraph.VertexSet, chosen []int, try func(engineGuess) bool) bool {
+// buildCands assembles the first-round atoms of a scope: in lazy mode
+// the sets e ∩ scope of the original edges meeting the scope; in eager
+// mode every augmented edge contained in the scope (the pre-PR-5
+// candidate rule, kept for explicit pools).
+func (o *fhdOracle) buildCands(canonScope hypergraph.VertexSet) *fhdCands {
+	cd := &fhdCands{scope: canonScope, seen: map[int]bool{}}
+	add := func(s hypergraph.VertexSet, orig int) {
+		id, canon, _ := o.pool.Intern(s)
+		if !cd.seen[id] {
+			cd.seen[id] = true
+			cd.orig = append(cd.orig, fhdAtom{set: canon, id: id, orig: orig})
+		}
+	}
+	if o.aug != nil {
+		cd.full = true
+		o.ebuf = o.aug.H.EdgesIntersectingSet(canonScope, o.ebuf)
+		o.ebuf.ForEach(func(ed int) bool {
+			if o.aug.H.Edge(ed).IsSubsetOf(canonScope) {
+				add(o.aug.H.Edge(ed), o.aug.Origin[ed])
+			}
+			return true
+		})
+		cd.seen = nil // nothing extends a full candidate list again
+		return cd
+	}
+	o.ebuf = o.h.EdgesIntersectingSet(canonScope, o.ebuf)
+	o.ebuf.ForEach(func(ed int) bool {
+		add(o.h.Edge(ed).Intersect(canonScope), ed)
+		return true
+	})
+	return cd
+}
+
+// extend generates the subedge atoms of cd's scope, once: f⁺ restricted
+// to the scope — all non-empty proper subsets of e ∩ scope for every
+// edge e meeting the scope (the full sets are already first-round
+// atoms). New atoms count against the shared cap.
+func (o *fhdOracle) extend(e *engine, cd *fhdCands) {
+	if cd.full || o.err != nil {
+		return
+	}
+	cd.full = true
+	scope := cd.scope
+	o.ebuf = o.h.EdgesIntersectingSet(scope, o.ebuf)
+	es := make([]int, 0, o.ebuf.Count())
+	o.ebuf.ForEach(func(ed int) bool {
+		es = append(es, ed)
+		return true
+	})
+	add := func(s hypergraph.VertexSet, orig int) error {
+		if s.IsEmpty() {
+			return nil
+		}
+		id, canon, isNew := o.pool.Intern(s)
+		if isNew {
+			o.nsubs++
+			if o.maxSets > 0 && o.nsubs > o.maxSets {
+				return fmt.Errorf("core: full subedge closure exceeds %d sets", o.maxSets)
+			}
+		}
+		if cd.seen[id] {
+			return nil
+		}
+		cd.seen[id] = true
+		cd.subs = append(cd.subs, fhdAtom{set: canon, id: id, orig: orig})
+		return nil
+	}
+	for _, ed := range es {
+		e.poll()
+		base := o.h.Edge(ed).Intersect(scope)
+		if err := addAllSubsets(base, func(s hypergraph.VertexSet) error { return add(s, ed) }); err != nil {
+			o.err = err
+			return
+		}
+	}
+	cd.seen = nil // dedup is only needed while generating; free the map
+}
+
+// check tests one guess S of atoms: B = ⋃S on scratch, the cheap bag
+// conditions first, then the (memoized, warm-started) cover LP.
+func (o *fhdOracle) check(e *engine, inc *cover.Incremental, c, w hypergraph.VertexSet, chosen []fhdAtom, try func(engineGuess) bool) bool {
 	e.poll()
-	// B = ⋃S on scratch; reject cheaply before the LP.
 	o.b = o.b.Reset()
-	for _, ed := range chosen {
-		o.b = o.b.UnionInPlace(o.aug.H.Edge(ed))
+	for _, a := range chosen {
+		o.b = o.b.UnionInPlace(a.set)
 	}
 	if !w.IsSubsetOf(o.b) || !o.b.Intersects(c) {
 		return false
 	}
-	gamma := o.coverWithin(o.b, chosen)
+	gamma := o.coverWithin(inc, chosen)
 	if gamma == nil {
 		return false
 	}
 	return try(engineGuess{bag: o.b, cover: func() cover.Fractional {
-		// Charge each subedge's weight to its originator; weight beyond
-		// 1 never helps coverage (the GHD-from-HD step of Theorem 4.11).
+		// Charge each atom's weight to its originator; weight beyond 1
+		// never helps coverage (the GHD-from-HD step of Theorem 4.11).
 		cov := cover.Fractional{}
-		for ed, wt := range gamma {
-			og := o.aug.Origin[ed]
-			if cov[og] == nil {
-				cov[og] = new(big.Rat)
+		for _, a := range chosen {
+			wt := gamma[a.id]
+			if wt == nil || wt.Sign() == 0 {
+				continue
 			}
-			cov[og].Add(cov[og], wt)
+			if cov[a.orig] == nil {
+				cov[a.orig] = new(big.Rat)
+			}
+			cov[a.orig].Add(cov[a.orig], wt)
 		}
 		one := lp.RI(1)
 		for og, wt := range cov {
@@ -141,43 +317,46 @@ func (o *fhdOracle) check(e *engine, c, w hypergraph.VertexSet, chosen []int, tr
 	}})
 }
 
-// coverWithin solves min Σ γ(e) over e ∈ chosen subject to covering
-// ⋃chosen, memoized on the interned support set, and returns the weights
-// if the optimum is ≤ k (ρ*(H_λu) ≤ k in the terms of Theorem 5.22),
-// nil otherwise. The LP runs in dual ≤-form (no artificials, no phase 1;
-// see cover.SolveCoverLP).
-func (o *fhdOracle) coverWithin(bag hypergraph.VertexSet, chosen []int) cover.Fractional {
+// coverWithin solves min Σ γ(a) over a ∈ chosen subject to covering
+// ⋃chosen, memoized on the interned support set, and returns the atom
+// weights if the optimum is ≤ k (ρ*(H_λu) ≤ k in the terms of Theorem
+// 5.22), nil otherwise. On a memo miss the borrowed incremental solver
+// — whose row stack already mirrors chosen — re-solves from the sibling
+// guess's optimal basis.
+func (o *fhdOracle) coverWithin(inc *cover.Incremental, chosen []fhdAtom) map[int]*big.Rat {
 	o.cset = o.cset.Reset()
-	for _, ed := range chosen {
-		o.cset.Add(ed)
+	for _, a := range chosen {
+		o.cset.Add(a.id)
 	}
-	id, _, isNew := o.supports.Intern(o.cset)
+	sid, _, isNew := o.supports.Intern(o.cset)
 	if !isNew {
-		return o.lpMemo[id]
+		return o.lpMemo[sid]
 	}
-	var gamma cover.Fractional
-	if w, x := cover.SolveCoverLP(o.aug.H, chosen, bag); w != nil && w.Cmp(o.k) <= 0 {
-		gamma = cover.Fractional{}
-		for j, ed := range chosen {
-			if x[j] != nil && x[j].Sign() > 0 {
-				gamma[ed] = x[j]
+	var gamma map[int]*big.Rat
+	if wgt := inc.Solve(); wgt != nil && wgt.Cmp(o.k) <= 0 {
+		gamma = map[int]*big.Rat{}
+		for i, a := range chosen {
+			if d := inc.Dual(i); d.Sign() > 0 {
+				gamma[a.id] = new(big.Rat).Set(d)
 			}
 		}
 	}
-	o.lpMemo[id] = gamma
+	o.lpMemo[sid] = gamma
 	return gamma
 }
 
 // CheckFHD decides Check(FHD,k) — is fhw(h) ≤ k? — using the reduction of
-// Theorem 5.22: h is augmented with subedges, and a *strict* hypertree-
-// style decomposition is sought in which every bag is the union ⋃Su of at
-// most ⌊k·d⌋ augmented edges (d = degree(h), Lemma 5.6) admitting a
-// fractional edge cover of weight ≤ k by those edges (checked by exact
-// LP). On success a width-≤k FHD of h is returned; otherwise nil.
+// Theorem 5.22: a *strict* hypertree-style decomposition is sought in
+// which every bag is the union ⋃Su of at most ⌊k·d⌋ subedge atoms
+// (d = degree(h), Lemma 5.6) admitting a fractional edge cover of weight
+// ≤ k by those atoms (checked by exact warm-started LP). The candidate
+// atoms are generated lazily per subproblem scope from the f⁺ closure;
+// see fhdOracle. On success a width-≤k FHD of h is returned; otherwise
+// nil.
 //
 // The procedure runs in polynomial time for fixed k on bounded-degree
-// classes (Theorem 5.2); on unrestricted inputs the subedge closure or
-// the support enumeration may be large, bounded by opt caps.
+// classes (Theorem 5.2); on unrestricted inputs the subedge generation
+// or the support enumeration may be large, bounded by opt caps.
 func CheckFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions) (*decomp.Decomp, error) {
 	return checkFHD(h, k, opt, nil)
 }
@@ -198,25 +377,37 @@ func checkFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions, done <-chan 
 	if maxSupport < 1 {
 		maxSupport = 1
 	}
-	subs := opt.Subedges
-	if subs == nil {
-		max := opt.MaxSubedges
-		if max == 0 {
-			max = defaultMaxSubedges
-		}
-		var err error
-		subs, err = fullSubedgeClosure(h, max, done)
-		if err != nil {
-			// Fall back to the (capped) h_{d,k} closure of Lemma 5.17.
-			subs, err = HdkSubedges(h, d, ratCeil(k), 0, max)
-			if err != nil {
-				return nil, err
-			}
-		}
+	max := opt.MaxSubedges
+	if max == 0 {
+		max = defaultMaxSubedges
 	}
-	aug := Augment(h, subs)
-	e := newEngine(h, newFHDOracle(aug, k, maxSupport), false, done)
+	var aug *Augmented
+	if opt.Subedges != nil {
+		aug = Augment(h, opt.Subedges)
+	}
+	dec, err := runFHD(h, aug, k, maxSupport, max, done)
+	if err == nil || aug != nil {
+		return dec, err
+	}
+	// The lazy f⁺ generation tripped its cap (or refused a subset
+	// enumeration): fall back to the eager, capped h_{d,k} closure of
+	// Lemma 5.17, as the eager pipeline did.
+	subs, herr := HdkSubedges(h, d, ratCeil(k), 0, max)
+	if herr != nil {
+		return nil, herr
+	}
+	return runFHD(h, Augment(h, subs), k, maxSupport, max, done)
+}
+
+// runFHD runs the engine once over a fixed candidate source (lazy f⁺
+// when aug is nil, the augmented pool otherwise).
+func runFHD(h *hypergraph.Hypergraph, aug *Augmented, k *big.Rat, maxSupport, maxSets int, done <-chan struct{}) (*decomp.Decomp, error) {
+	o := newFHDOracle(h, aug, k, maxSupport, maxSets)
+	e := newEngine(h, o, false, done)
 	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
+	if o.err != nil {
+		return nil, o.err
+	}
 	if !ok {
 		return nil, nil
 	}

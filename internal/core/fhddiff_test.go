@@ -1,0 +1,167 @@
+package core_test
+
+// Differential tests for the lazy FHD subedge closure (PR 5): CheckFHD
+// with the lazy per-scope f⁺ generation must decide — and, at the exact
+// threshold, weigh — exactly like the reconstructed eager pipeline that
+// materializes the full subedge closure up front and passes it through
+// FHDOptions.Subedges. The comparison runs over the testdata/corpus
+// mini corpus and the E-series generator families, mirroring the PR-3
+// differential pattern for GHD in engine_test.go.
+//
+// At k = fhw (from the exact elimination DP) any accepted witness has
+// width exactly fhw — no FHD is narrower — so "widths agree exactly" is
+// a meaningful assertion there; strictly below fhw both sides must
+// reject.
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/core"
+	"hypertree/internal/corpus"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// eagerCheckFHD reconstructs the pre-PR-5 default: materialize the full
+// subedge closure f⁺ and run CheckFHD over the explicit pool (the eager
+// augmented-hypergraph path).
+func eagerCheckFHD(t *testing.T, h *hypergraph.Hypergraph, k *big.Rat) *decomp.Decomp {
+	t.Helper()
+	subs, err := core.FullSubedgeClosure(h, 0)
+	if err != nil {
+		t.Fatalf("full closure: %v", err)
+	}
+	d, err := core.CheckFHD(h, k, core.FHDOptions{Subedges: subs})
+	if err != nil {
+		t.Fatalf("eager CheckFHD: %v", err)
+	}
+	return d
+}
+
+// diffFHD compares lazy against eager on one instance at k = fhw and
+// just below, validating both witnesses and pinning both widths to fhw.
+func diffFHD(t *testing.T, name string, h *hypergraph.Hypergraph) {
+	t.Helper()
+	fhw, _ := core.ExactFHW(h)
+	if fhw == nil {
+		return
+	}
+	lazy, err := core.CheckFHD(h, fhw, core.FHDOptions{})
+	if err != nil {
+		t.Fatalf("%s: lazy CheckFHD: %v", name, err)
+	}
+	eager := eagerCheckFHD(t, h, fhw)
+	if lazy == nil || eager == nil {
+		t.Fatalf("%s: accept mismatch at fhw=%s: lazy=%v eager=%v",
+			name, fhw.RatString(), lazy != nil, eager != nil)
+	}
+	if lazy.Width().Cmp(eager.Width()) != 0 || lazy.Width().Cmp(fhw) != 0 {
+		t.Fatalf("%s: width mismatch at fhw=%s: lazy=%s eager=%s",
+			name, fhw.RatString(), lazy.Width().RatString(), eager.Width().RatString())
+	}
+	if err := lazy.ValidateWidth(decomp.FHD, fhw); err != nil {
+		t.Fatalf("%s: lazy witness invalid: %v", name, err)
+	}
+	if err := eager.ValidateWidth(decomp.FHD, fhw); err != nil {
+		t.Fatalf("%s: eager witness invalid: %v", name, err)
+	}
+	// The rejection leg exhausts the whole search space, which grows
+	// much faster than the acceptance side; keep it to small instances
+	// so the suite stays CI-sized while still covering both decisions.
+	if fhw.Cmp(lp.RI(1)) > 0 && h.NumEdges() <= 8 {
+		below := new(big.Rat).Sub(fhw, lp.R(1, 1000))
+		lazyNo, err := core.CheckFHD(h, below, core.FHDOptions{})
+		if err != nil {
+			t.Fatalf("%s: lazy CheckFHD below fhw: %v", name, err)
+		}
+		eagerNo := eagerCheckFHD(t, h, below)
+		if lazyNo != nil || eagerNo != nil {
+			t.Fatalf("%s: rejection mismatch below fhw: lazy=%v eager=%v",
+				name, lazyNo != nil, eagerNo != nil)
+		}
+	}
+}
+
+// fhdDiffable gates instances to where both sides are tractable: the
+// exact DP needs few vertices, the eager closure is exponential in the
+// rank, and the support enumeration in the edge count.
+func fhdDiffable(h *hypergraph.Hypergraph) bool {
+	return h.NumVertices() <= 14 && h.NumEdges() <= 16 && h.Rank() <= 5
+}
+
+// TestLazyFHDMatchesEagerClosureOnCorpus runs the differential over
+// every tractable instance of the testdata/corpus mini corpus.
+func TestLazyFHDMatchesEagerClosureOnCorpus(t *testing.T) {
+	instances, err := corpus.LoadDir("../../testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) == 0 {
+		t.Fatal("empty corpus")
+	}
+	ran := 0
+	for _, in := range instances {
+		h, _, err := in.Read()
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if !fhdDiffable(h) {
+			continue
+		}
+		ran++
+		diffFHD(t, in.Name, h)
+	}
+	if ran < 10 {
+		t.Fatalf("only %d corpus instances were diffable; the gate is too tight", ran)
+	}
+}
+
+// TestLazyFHDMatchesEagerClosureOnGenerators runs the differential over
+// the E-series generator families: the E08 bounded-degree instances,
+// hypercycles, grids and cliques. (ExampleH0 — degree 5, support bound
+// 10 — belongs to the GHD differentials; the FHD tractability class of
+// Theorem 5.2 is bounded degree, and its Check(FHD,k) run costs seconds
+// for no extra coverage.)
+func TestLazyFHDMatchesEagerClosureOnGenerators(t *testing.T) {
+	fixtures := map[string]*hypergraph.Hypergraph{
+		"path5":        hypergraph.Path(5),
+		"cycle6":       hypergraph.Cycle(6),
+		"clique4":      hypergraph.Clique(4),
+		"grid2x3":      hypergraph.Grid(2, 3),
+		"hypercycle":   hypergraph.HyperCycle(6, 3, 1),
+		"twotriangles": hypergraph.MustParse("a1(x,y),a2(y,z),a3(z,x),b1(p,q),b2(q,r),b3(r,p)"),
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fixtures["bdp"+string(rune('0'+seed))] = hypergraph.RandomBoundedDegree(rng, 7, 5, 3, 2)
+	}
+	for name, h := range fixtures {
+		if !fhdDiffable(h) {
+			t.Fatalf("fixture %s is not diffable; shrink it", name)
+		}
+		diffFHD(t, name, h)
+	}
+}
+
+// TestLazyFHDSubedgeCapFallsBackLikeEager — the lazy generator must
+// honor MaxSubedges: when the cap trips, CheckFHD falls back to the
+// h_{d,k} closure, whose accepts are still sound.
+func TestLazyFHDSubedgeCapFallsBackLikeEager(t *testing.T) {
+	h := hypergraph.Clique(3)
+	// fhw(K3) = 3/2 needs fractional covers over subedge atoms; a tiny
+	// cap forces the h_{d,k} fallback, which still accepts at 3/2 with a
+	// valid witness of exactly that width.
+	d, err := core.CheckFHD(h, lp.R(3, 2), core.FHDOptions{MaxSubedges: 2})
+	if err != nil {
+		t.Fatalf("capped CheckFHD must fall back, not fail: %v", err)
+	}
+	if d == nil {
+		t.Fatal("h_{d,k} fallback must still accept K3 at 3/2")
+	}
+	if err := d.ValidateWidth(decomp.FHD, lp.R(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -200,9 +200,11 @@ func addAllSubsets(s hypergraph.VertexSet, add func(hypergraph.VertexSet) error)
 // FullSubedgeClosure computes the limit subedge function f⁺: all
 // non-empty proper subsets of all edges. hw(H ∪ f⁺) = ghw(H) ([3, 28]),
 // but |f⁺| is exponential in the rank, so this is only usable for tiny
-// hypergraphs; maxSets caps the size (0 = no cap). CheckFHD materializes
-// this closure as its default candidate pool; CheckGHDExact generates
-// the same family lazily per scope through the engine's ghdOracle.
+// hypergraphs; maxSets caps the size (0 = no cap). Nothing materializes
+// this closure by default anymore — CheckGHDExact and CheckFHD both
+// generate the family lazily per scope through their engine oracles —
+// but it remains the eager f⁺ reference for ablations and for the
+// lazy-vs-eager differential tests (engine_test.go, fhddiff_test.go).
 func FullSubedgeClosure(h *hypergraph.Hypergraph, maxSets int) ([]hypergraph.VertexSet, error) {
 	return fullSubedgeClosure(h, maxSets, nil)
 }

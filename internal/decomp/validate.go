@@ -75,6 +75,21 @@ func (d *Decomp) Validate(kind Kind) error {
 	return nil
 }
 
+// ValidateWidth checks Validate(kind) plus the width bound: the
+// decomposition's width must be ≤ k. It is the one-call witness check
+// the HD/GHD/FHD oracle tests share — "this Check(·,k) witness is a
+// valid decomposition of its kind and no wider than promised" — instead
+// of per-test ad-hoc condition lists.
+func (d *Decomp) ValidateWidth(kind Kind, k *big.Rat) error {
+	if err := d.Validate(kind); err != nil {
+		return err
+	}
+	if w := d.Width(); w.Cmp(k) > 0 {
+		return fmt.Errorf("width %s exceeds the bound %s", w.RatString(), k.RatString())
+	}
+	return nil
+}
+
 // checkTree verifies parent/child consistency and that all nodes are
 // reachable from the root.
 func (d *Decomp) checkTree() error {

@@ -1,0 +1,72 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// Batched edit sequences: several adds/retires/toggles between solves.
+func TestWarmBatchedEdits(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		w := NewWarm(n)
+		for j := 0; j < n; j++ {
+			w.SetObjective(j, RI(int64(rng.Intn(2))))
+		}
+		var live []int
+		addRow := func() {
+			coef := make([]*big.Rat, n)
+			nz := false
+			for j := range coef {
+				if rng.Intn(2) == 0 {
+					coef[j] = RI(1)
+					nz = true
+				}
+			}
+			if !nz {
+				coef[rng.Intn(n)] = RI(1)
+			}
+			live = append(live, w.AddRow(coef, RI(1)))
+		}
+		addRow()
+		for step := 0; step < 10; step++ {
+			edits := 1 + rng.Intn(4)
+			for e := 0; e < edits; e++ {
+				switch op := rng.Intn(4); {
+				case op == 0 || len(live) == 0:
+					addRow()
+				case op == 1 && len(live) > 1:
+					i := rng.Intn(len(live))
+					w.RetireRow(live[i])
+					live = append(live[:i], live[i+1:]...)
+				default:
+					w.SetObjective(rng.Intn(n), RI(int64(rng.Intn(2))))
+				}
+			}
+			st, err := w.Solve()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			p := NewProblem(n)
+			p.Minimize = false
+			for j := 0; j < n; j++ {
+				p.SetObjective(j, w.obj[j])
+			}
+			for _, r := range w.rows {
+				p.AddConstraint(r.coef, LE, r.rhs)
+			}
+			s, err := p.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (st == Unbounded) != (s.Status == Unbounded) {
+				t.Fatalf("seed %d step %d: warm %v cold %v", seed, step, st, s.Status)
+			}
+			if st == Optimal && w.Value().Cmp(s.Value) != 0 {
+				t.Fatalf("seed %d step %d: warm %v cold %v", seed, step, w.Value().RatString(), s.Value.RatString())
+			}
+		}
+	}
+}

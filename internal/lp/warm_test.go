@@ -1,0 +1,358 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// coldEquivalent rebuilds w's current LP as a one-shot Problem.
+func coldEquivalent(w *WarmProblem) *Problem {
+	p := NewProblem(w.nVars)
+	p.Minimize = false
+	for j := 0; j < w.nVars; j++ {
+		p.SetObjective(j, w.obj[j])
+	}
+	for _, r := range w.rows {
+		p.AddConstraint(r.coef, LE, r.rhs)
+	}
+	return p
+}
+
+// checkAgainstCold solves w warm and its reconstruction cold and
+// compares statuses and optimal values.
+func checkAgainstCold(t *testing.T, w *WarmProblem) {
+	t.Helper()
+	st, err := w.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := coldEquivalent(w).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (st == Unbounded) != (s.Status == Unbounded) {
+		t.Fatalf("warm status %v, cold status %v", st, s.Status)
+	}
+	if st != Optimal {
+		return
+	}
+	if w.Value().Cmp(s.Value) != 0 {
+		t.Fatalf("warm value %v, cold value %v", w.Value().RatString(), s.Value.RatString())
+	}
+	verifyCertificate(t, w)
+}
+
+// verifyCertificate checks the exact optimality certificate of a warm
+// optimum: the primal assignment is feasible and achieves Value, the row
+// duals are a feasible dual assignment, and the dual objective equals
+// Value (strong duality over the rationals).
+func verifyCertificate(t *testing.T, w *WarmProblem) {
+	t.Helper()
+	// Primal feasibility and objective.
+	val := new(big.Rat)
+	for j := 0; j < w.nVars; j++ {
+		x := w.XVal(j)
+		if x.Sign() < 0 {
+			t.Fatalf("x[%d] = %v negative", j, x)
+		}
+		val.Add(val, new(big.Rat).Mul(w.obj[j], x))
+	}
+	if val.Cmp(w.Value()) != 0 {
+		t.Fatalf("objective of X = %v, Value() = %v", val, w.Value())
+	}
+	dualVal := new(big.Rat)
+	for _, r := range w.rows {
+		lhs := new(big.Rat)
+		for j, c := range r.coef {
+			if c != nil {
+				lhs.Add(lhs, new(big.Rat).Mul(c, w.XVal(j)))
+			}
+		}
+		if lhs.Cmp(r.rhs) > 0 {
+			t.Fatalf("row %d violated: %v > %v", r.id, lhs, r.rhs)
+		}
+		y := w.RowDual(r.id)
+		if y.Sign() < 0 {
+			t.Fatalf("dual of row %d = %v negative", r.id, y)
+		}
+		dualVal.Add(dualVal, new(big.Rat).Mul(y, r.rhs))
+	}
+	if dualVal.Cmp(w.Value()) != 0 {
+		t.Fatalf("dual objective %v ≠ primal %v", dualVal, w.Value())
+	}
+	// Dual feasibility: Σ_i y_i a_ij ≥ c_j for every variable.
+	for j := 0; j < w.nVars; j++ {
+		lhs := new(big.Rat)
+		for _, r := range w.rows {
+			if j < len(r.coef) && r.coef[j] != nil {
+				lhs.Add(lhs, new(big.Rat).Mul(w.RowDual(r.id), r.coef[j]))
+			}
+		}
+		if lhs.Cmp(w.obj[j]) < 0 {
+			t.Fatalf("dual infeasible at variable %d: %v < %v", j, lhs, w.obj[j])
+		}
+	}
+}
+
+func TestWarmMatchesColdOnTriangle(t *testing.T) {
+	// The triangle covering dual: max y1+y2+y3 with pairwise sums ≤ 1.
+	w := NewWarm(3)
+	for j := 0; j < 3; j++ {
+		w.SetObjective(j, RI(1))
+	}
+	w.AddRow([]*big.Rat{RI(1), RI(1), nil}, RI(1))
+	w.AddRow([]*big.Rat{nil, RI(1), RI(1)}, RI(1))
+	w.AddRow([]*big.Rat{RI(1), nil, RI(1)}, RI(1))
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(R(3, 2)) != 0 {
+		t.Fatalf("triangle ρ* = %v, want 3/2", w.Value())
+	}
+}
+
+func TestWarmAddRowResolves(t *testing.T) {
+	w := NewWarm(2)
+	w.SetObjective(0, RI(3))
+	w.SetObjective(1, RI(2))
+	w.AddRow([]*big.Rat{RI(1), RI(1)}, RI(4))
+	checkAgainstCold(t, w) // unbounded? no: x0+x1 ≤ 4 bounds both → 12
+	if w.Value().Cmp(RI(12)) != 0 {
+		t.Fatalf("got %v, want 12", w.Value())
+	}
+	id := w.AddRow([]*big.Rat{RI(1)}, RI(2))
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(RI(10)) != 0 {
+		t.Fatalf("got %v, want 10", w.Value())
+	}
+	if st := w.Stats(); st.ColdStarts != 1 || st.WarmSolves != 1 {
+		t.Fatalf("stats = %+v, want one cold start and one warm solve", st)
+	}
+	// Retiring the added row restores the first optimum.
+	w.RetireRow(id)
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(RI(12)) != 0 {
+		t.Fatalf("after retire got %v, want 12", w.Value())
+	}
+}
+
+func TestWarmObjectiveToggles(t *testing.T) {
+	// Cover-style toggling: switch target vertices in and out of the
+	// objective and re-solve warm each time.
+	w := NewWarm(3)
+	w.AddRow([]*big.Rat{RI(1), RI(1), nil}, RI(1))
+	w.AddRow([]*big.Rat{nil, RI(1), RI(1)}, RI(1))
+	w.SetObjective(0, RI(1))
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(RI(1)) != 0 {
+		t.Fatalf("got %v, want 1", w.Value())
+	}
+	w.SetObjective(1, RI(1))
+	w.SetObjective(2, RI(1))
+	checkAgainstCold(t, w)
+	w.SetObjective(1, RI(0))
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(RI(2)) != 0 {
+		t.Fatalf("got %v, want 2 (x0 = x2 = 1)", w.Value())
+	}
+}
+
+func TestWarmUnbounded(t *testing.T) {
+	w := NewWarm(2)
+	w.SetObjective(0, RI(1))
+	w.SetObjective(1, RI(1))
+	id := w.AddRow([]*big.Rat{RI(1)}, RI(1))
+	if st, err := w.Solve(); err != nil || st != Unbounded {
+		t.Fatalf("got (%v, %v), want unbounded", st, err)
+	}
+	// Bounding the free variable recovers optimality warm.
+	w.AddRow([]*big.Rat{nil, RI(1)}, RI(5))
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(RI(6)) != 0 {
+		t.Fatalf("got %v, want 6", w.Value())
+	}
+	_ = id
+}
+
+func TestWarmRetireNonbasicSlack(t *testing.T) {
+	// Retire a binding row (its slack is nonbasic at the optimum): the
+	// forced pivot path must still produce the right re-optimum.
+	w := NewWarm(2)
+	w.SetObjective(0, RI(2))
+	w.SetObjective(1, RI(1))
+	tight := w.AddRow([]*big.Rat{RI(1), RI(1)}, RI(1))
+	w.AddRow([]*big.Rat{RI(1), nil}, RI(3))
+	w.AddRow([]*big.Rat{nil, RI(1)}, RI(3))
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(RI(2)) != 0 {
+		t.Fatalf("got %v, want 2", w.Value())
+	}
+	w.RetireRow(tight)
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(RI(9)) != 0 {
+		t.Fatalf("after retiring the binding row got %v, want 9", w.Value())
+	}
+}
+
+func TestWarmReset(t *testing.T) {
+	w := NewWarm(2)
+	w.SetObjective(0, RI(1))
+	w.AddRow([]*big.Rat{RI(1), RI(1)}, RI(2))
+	checkAgainstCold(t, w)
+	w.Reset(3)
+	if w.NumRows() != 0 || w.NumVars() != 3 {
+		t.Fatalf("reset left %d rows / %d vars", w.NumRows(), w.NumVars())
+	}
+	for j := 0; j < 3; j++ {
+		w.SetObjective(j, RI(1))
+	}
+	w.AddRow([]*big.Rat{RI(1), RI(1), RI(1)}, RI(1))
+	checkAgainstCold(t, w)
+	if w.Value().Cmp(RI(1)) != 0 {
+		t.Fatalf("got %v, want 1", w.Value())
+	}
+}
+
+func TestWarmRandomEditSequences(t *testing.T) {
+	// Randomized add/retire/toggle sequences, each solve cross-checked
+	// against a cold Problem.Solve and certificate-verified.
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		w := NewWarm(n)
+		for j := 0; j < n; j++ {
+			w.SetObjective(j, RI(int64(rng.Intn(3))))
+		}
+		var live []int
+		addRow := func() {
+			coef := make([]*big.Rat, n)
+			nz := false
+			for j := range coef {
+				if rng.Intn(2) == 0 {
+					coef[j] = RI(int64(1 + rng.Intn(2)))
+					nz = true
+				}
+			}
+			if !nz {
+				coef[rng.Intn(n)] = RI(1)
+			}
+			live = append(live, w.AddRow(coef, RI(int64(rng.Intn(4)))))
+		}
+		addRow()
+		for step := 0; step < 12; step++ {
+			switch op := rng.Intn(4); {
+			case op == 0 || len(live) == 0:
+				addRow()
+			case op == 1 && len(live) > 1:
+				i := rng.Intn(len(live))
+				w.RetireRow(live[i])
+				live = append(live[:i], live[i+1:]...)
+			default:
+				w.SetObjective(rng.Intn(n), RI(int64(rng.Intn(3))))
+			}
+			checkAgainstCold(t, w)
+		}
+	}
+}
+
+// TestWarmResolveAllocsLessThanCold is the regression pin for the
+// scratch-rational reuse across solves: a warm re-solve after a small
+// edit must allocate strictly less than a cold solve of the same LP. If
+// the engine silently stops reusing its tableau (stale pool, dropped
+// basis), the warm path degenerates to a cold start and this trips.
+func TestWarmResolveAllocsLessThanCold(t *testing.T) {
+	build := func() *WarmProblem {
+		w := NewWarm(4)
+		for j := 0; j < 4; j++ {
+			w.SetObjective(j, RI(1))
+		}
+		for i := 0; i < 4; i++ {
+			coef := make([]*big.Rat, 4)
+			coef[i] = RI(1)
+			coef[(i+1)%4] = RI(1)
+			w.AddRow(coef, RI(1))
+		}
+		return w
+	}
+	cold := testing.AllocsPerRun(20, func() {
+		w := build()
+		if st, err := w.Solve(); err != nil || st != Optimal {
+			t.Fatal("cold solve failed")
+		}
+	})
+	w := build()
+	if st, err := w.Solve(); err != nil || st != Optimal {
+		t.Fatal("initial solve failed")
+	}
+	one, zero := RI(1), RI(0)
+	flip := false
+	warm := testing.AllocsPerRun(20, func() {
+		if flip {
+			w.SetObjective(0, one)
+		} else {
+			w.SetObjective(0, zero)
+		}
+		flip = !flip
+		if st, err := w.Solve(); err != nil || st != Optimal {
+			t.Fatal("warm solve failed")
+		}
+	})
+	if warm >= cold {
+		t.Fatalf("warm re-solve allocates %.0f/run, cold solve %.0f/run — warm must be strictly cheaper", warm, cold)
+	}
+	st := w.Stats()
+	if st.ColdStarts != 1 {
+		t.Fatalf("warm loop triggered %d cold starts, want 1", st.ColdStarts)
+	}
+}
+
+// TestWarmResetReuseRegression replays the shrunk op sequence that once
+// corrupted a recycled WarmProblem: after Reset to a smaller problem,
+// growing a fresh column reused a pooled row buffer whose slot still
+// held a stale rational from the previous life, silently shifting the
+// optimum. (Found by the FHD differential suite on grid_2x4.)
+func TestWarmResetReuseRegression(t *testing.T) {
+	rows8 := [][]int{
+		{0, 0, 0, 0, 1, 1, 0, 0},
+		{0, 0, 0, 0, 0, 1, 1, 0},
+		{0, 0, 0, 0, 0, 0, 1, 1},
+		{1, 0, 0, 0, 1, 0, 0, 0},
+		{0, 0, 0, 0, 0, 0, 1, 0},
+		{1, 0, 0, 0, 0, 0, 0, 0},
+		{0, 1, 0, 0, 0, 0, 0, 0},
+		{0, 0, 1, 0, 0, 0, 0, 0},
+		{0, 0, 0, 1, 0, 0, 0, 0},
+	}
+	toCoef := func(row []int) []*big.Rat {
+		coef := make([]*big.Rat, len(row))
+		for j, v := range row {
+			if v != 0 {
+				coef[j] = RI(int64(v))
+			}
+		}
+		return coef
+	}
+	w := NewWarm(8)
+	for _, r := range rows8 {
+		w.AddRow(toCoef(r), RI(1))
+	}
+	checkAgainstCold(t, w)
+	w.Reset(7)
+	rows7 := [][]int{
+		{0, 1, 1, 0, 0, 0, 0},
+		{0, 0, 0, 1, 1, 0, 0},
+		{0, 0, 0, 0, 1, 1, 0},
+		{0, 0, 0, 0, 0, 1, 1},
+	}
+	var ids []int
+	for _, r := range rows7 {
+		ids = append(ids, w.AddRow(toCoef(r), RI(1)))
+	}
+	w.SetObjective(0, RI(1))
+	mid := w.AddRow(toCoef([]int{1, 0, 0, 0, 1, 0, 0}), RI(1))
+	checkAgainstCold(t, w)
+	w.AddRow(toCoef([]int{0, 0, 0, 0, 0, 1, 0}), RI(1))
+	w.RetireRow(mid)
+	w.AddRow(toCoef([]int{1, 0, 0, 0, 0, 0, 0}), RI(1))
+	checkAgainstCold(t, w)
+	_ = ids
+}

@@ -251,18 +251,17 @@ func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int)
 // upper bound — often strictly below k, e.g. 3/2 on triangle blocks. A
 // rejection raises no lower bound: the procedure's h_{d,k} fallback
 // closure is not complete for every hypergraph, so only acceptances are
-// trusted. If the closure or support enumeration exceeds its caps the
-// strategy retires and leaves the field to the others.
+// trusted. If the lazy generation or support enumeration exceeds its
+// caps the strategy retires and leaves the field to the others.
+//
+// Since PR 5 no subedge pool is precomputed: CheckFHD generates f⁺
+// atoms lazily per subproblem scope (and warm-starts the cover LPs), so
+// levels that accept on original-edge atoms never pay for a closure.
+// The lazily interned pool dies with each level's engine; nothing of it
+// reaches the result cache, whose sizing still sees only witnesses.
 func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int) {
-	// The default subedge pool is k-independent: enumerate it once and
-	// reuse it across levels (nil on cap overflow, restoring the
-	// per-level k-dependent fallback inside CheckFHD).
-	subs, err := core.FHDSubedgesCtx(ctx, bh, 0)
-	if err != nil {
-		return
-	}
 	for k := r.snapshotLower(); k <= maxK; k++ {
-		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), core.FHDOptions{Subedges: subs})
+		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), core.FHDOptions{})
 		if err != nil {
 			return // context done or closure cap exceeded
 		}
