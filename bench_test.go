@@ -406,3 +406,60 @@ func BenchmarkE07FPTInIntersectionWidth(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEngineIncrementality — PR 6: the engine's incremental
+// connectivity and warm-basis reuse on Check(·,k)-dominated runs. The
+// "deepen" pair drives the iterative-deepening FHD loop of
+// solve.deepenFHDCheck (reject at k=1, accept at k=2) with a fresh
+// cover.BasisCache per level versus one shared across levels, exposing
+// the cross-level warm-basis effect; the decision legs pin the
+// steady-state cost of the HD/GHD guess loops that now ride
+// DynComponents instead of per-guess ComponentsOf.
+func BenchmarkEngineIncrementality(b *testing.B) {
+	b.Run("checkHD/grid2x4", func(b *testing.B) {
+		g := hypergraph.Grid(2, 4)
+		for i := 0; i < b.N; i++ {
+			if core.CheckHD(g, 3) == nil {
+				b.Fatal("grid 2x4 has hw ≤ 3")
+			}
+		}
+	})
+	b.Run("checkGHD/grid2x6", func(b *testing.B) {
+		g := hypergraph.Grid(2, 6)
+		for i := 0; i < b.N; i++ {
+			d, err := core.CheckGHDViaBIP(g, 2, core.Options{})
+			if err != nil || d == nil {
+				b.Fatal("grid 2x6 has ghw 2")
+			}
+		}
+	})
+	for _, shared := range []bool{false, true} {
+		name := "deepenFHD/fresh-basis"
+		if shared {
+			name = "deepenFHD/shared-basis"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := hypergraph.Grid(2, 3)
+			for i := 0; i < b.N; i++ {
+				var basis *cover.BasisCache
+				if shared {
+					basis = cover.NewBasisCache(0)
+				}
+				var d *decomp.Decomp
+				for k := 1; k <= 2 && d == nil; k++ {
+					var err error
+					d, err = core.CheckFHD(g, lp.RI(int64(k)), core.FHDOptions{Basis: basis})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d != nil && k != 2 {
+						b.Fatal("grid 2x3 must reject at k=1")
+					}
+				}
+				if d == nil {
+					b.Fatal("grid 2x3 must accept at k=2")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package main
+
+// jsonbench.go — machine-readable benchmark records. `hgbench -json
+// FILE` bypasses the experiment suite and instead runs the
+// Check(·,k)-dominated engine benchmarks through testing.Benchmark,
+// writing one JSON document with the environment stamped in, so CI and
+// PR text can cite committed BENCH_*.json records instead of pasted
+// terminal output. The benchmark set mirrors the engine-incrementality
+// rows of bench_test.go: decision checks over the grid family for the
+// three measures, plus the FHD deepening loop run cold (a fresh basis
+// cache per level) and shared (one cache across levels, the
+// solve.deepenFHDCheck wiring) to expose the cross-level warm-basis
+// effect as a first-class measurement.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hypertree/internal/core"
+	"hypertree/internal/cover"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// benchRecord is one benchmark result row.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchDocument is the schema of a BENCH_*.json file.
+type benchDocument struct {
+	GitRev    string        `json:"git_rev"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Records   []benchRecord `json:"records"`
+}
+
+// jsonBenchSet returns the named engine benchmarks measured by -json.
+func jsonBenchSet() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"CheckHD/grid2x4", func(b *testing.B) {
+			g := hypergraph.Grid(2, 4)
+			for i := 0; i < b.N; i++ {
+				if core.CheckHD(g, 3) == nil {
+					b.Fatal("grid 2x4 has hw ≤ 3")
+				}
+			}
+		}},
+		{"CheckGHDViaBIP/grid2x4", func(b *testing.B) {
+			g := hypergraph.Grid(2, 4)
+			for i := 0; i < b.N; i++ {
+				d, err := core.CheckGHDViaBIP(g, 2, core.Options{})
+				if err != nil || d == nil {
+					b.Fatal("grid 2x4 has ghw 2")
+				}
+			}
+		}},
+		{"CheckGHDViaBIP/grid2x6", func(b *testing.B) {
+			g := hypergraph.Grid(2, 6)
+			for i := 0; i < b.N; i++ {
+				d, err := core.CheckGHDViaBIP(g, 2, core.Options{})
+				if err != nil || d == nil {
+					b.Fatal("grid 2x6 has ghw 2")
+				}
+			}
+		}},
+		{"CheckFHD/grid2x3", func(b *testing.B) {
+			g := hypergraph.Grid(2, 3)
+			k := lp.RI(2)
+			for i := 0; i < b.N; i++ {
+				d, err := core.CheckFHD(g, k, core.FHDOptions{})
+				if err != nil || d == nil {
+					b.Fatal("grid 2x3 has fhw ≤ 2")
+				}
+			}
+		}},
+		{"FHDDeepen/fresh", func(b *testing.B) { benchFHDDeepen(b, false) }},
+		{"FHDDeepen/shared", func(b *testing.B) { benchFHDDeepen(b, true) }},
+	}
+}
+
+// benchFHDDeepen drives the iterative-deepening FHD loop on a grid —
+// reject at k=1, accept at k=2 — with or without one basis cache shared
+// across the levels.
+func benchFHDDeepen(b *testing.B, shared bool) {
+	g := hypergraph.Grid(2, 3)
+	for i := 0; i < b.N; i++ {
+		var basis *cover.BasisCache
+		if shared {
+			basis = cover.NewBasisCache(0)
+		}
+		var accepted bool
+		for k := 1; k <= 2; k++ {
+			d, err := core.CheckFHD(g, lp.RI(int64(k)), core.FHDOptions{Basis: basis})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d != nil {
+				accepted = k == 2
+				break
+			}
+		}
+		if !accepted {
+			b.Fatal("grid 2x3 must reject at 1 and accept at 2")
+		}
+	}
+}
+
+// gitRev returns the short HEAD revision, or "unknown" outside a
+// checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runJSONBench measures the engine benchmark set and writes the record
+// document to path.
+func runJSONBench(path string) error {
+	doc := benchDocument{
+		GitRev:    gitRev(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, bm := range jsonBenchSet() {
+		fmt.Fprintf(os.Stderr, "bench %-24s ", bm.name)
+		r := testing.Benchmark(bm.fn)
+		doc.Records = append(doc.Records, benchRecord{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %10d B/op %8d allocs/op\n",
+			float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

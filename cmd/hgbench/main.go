@@ -7,6 +7,7 @@
 // Usage:
 //
 //	hgbench [-exp E03] [-seed 1] [-quick] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	hgbench -json BENCH.json
 package main
 
 import (
@@ -38,6 +39,7 @@ var (
 	seed       = flag.Int64("seed", 1, "random seed for generated workloads")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	jsonOut    = flag.String("json", "", "run the engine benchmark set and write JSON records to this file")
 )
 
 type experiment struct {
@@ -49,6 +51,13 @@ type experiment struct {
 func main() {
 	sel := flag.String("exp", "", "run a single experiment (e.g. E03)")
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := runJSONBench(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "json bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	exps := []experiment{
 		{"E01", "Lemma 2.3: ρ(K_2n) = ρ*(K_2n) = n", e01},
 		{"E02", "Figure 1 / Lemma 3.1: gadget widths and forced bags", e02},

@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"testing"
+
+	"hypertree/internal/core"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// Allocation-regression pins for the engine's steady state, following
+// the internal/hypergraph alloc_test conventions. Since PR 6 the engine
+// recycles its DynComponents through a pool across runs, carves memo
+// nodes and key slices from geometric arenas, and rolls the oracles'
+// candidate stacks at marks — so a warmed Check(·,k) run settles at a
+// small per-run count (memo map, arena chunks, decomp extraction) that
+// these bounds keep from silently regressing. The bounds carry ~50%
+// headroom over the measured counts (GHD ≈ 200, HD ≈ 101, FHD ≈ 6500 on
+// grid 2×3; the pre-PR-6 engine sat at 289 for the GHD run).
+
+func TestCheckGHDSteadyStateAllocBound(t *testing.T) {
+	g := hypergraph.Grid(2, 3)
+	core.CheckGHDViaBIP(g, 2, core.Options{}) // warm pools and arenas
+	if n := testing.AllocsPerRun(30, func() {
+		core.CheckGHDViaBIP(g, 2, core.Options{})
+	}); n > 300 {
+		t.Fatalf("CheckGHDViaBIP allocates %v per run, want ≤ 300", n)
+	}
+}
+
+func TestCheckHDSteadyStateAllocBound(t *testing.T) {
+	g := hypergraph.Grid(2, 3)
+	core.CheckHD(g, 3)
+	if n := testing.AllocsPerRun(30, func() {
+		core.CheckHD(g, 3)
+	}); n > 160 {
+		t.Fatalf("CheckHD allocates %v per run, want ≤ 160", n)
+	}
+}
+
+func TestCheckFHDSteadyStateAllocBound(t *testing.T) {
+	// The FHD run is dominated by exact-rational pivots in the cover LPs;
+	// the bound is correspondingly coarser but still catches a lost
+	// warm-start or a de-pooled scratch path.
+	g := hypergraph.Grid(2, 3)
+	k := lp.RI(2)
+	core.CheckFHD(g, k, core.FHDOptions{})
+	if n := testing.AllocsPerRun(10, func() {
+		core.CheckFHD(g, k, core.FHDOptions{})
+	}); n > 9800 {
+		t.Fatalf("CheckFHD allocates %v per run, want ≤ 9800", n)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+// arena.go — epoch allocation for the engine's subproblem records.
+//
+// The engine's allocations fall into two lifetime classes, and the
+// pre-PR-6 code paid general-purpose heap costs for both. Accepted
+// subproblems produce *permanent* data — the memoized node, its bag
+// copy, its children key slice — that lives exactly as long as the
+// engine (one Check(·,k) run): nodeArena carves those out of chunked
+// slabs, so a run makes a handful of large allocations instead of three
+// small ones per memoized node, and the whole epoch is freed at once
+// when the engine is dropped. Everything *speculative* — the bag buffer
+// and child keys of a guess that may yet be rejected — lives in
+// depth-indexed buffers and mark-rolled stacks on the engine itself
+// (see tryChildren), so a rejected guess or a memo hit frees its
+// scratch in O(1) by truncating to the mark, allocating nothing.
+//
+// Chunks are never reallocated, only re-sliced, so pointers and
+// sub-slices handed out remain valid when a fresh chunk is started:
+// earlier chunks stay alive through the references into them.
+
+import "hypertree/internal/hypergraph"
+
+// Chunk sizes double per allocation between these bounds, so small runs
+// (the E-series instances) pay near-malloc-sized slabs while long runs
+// amortize towards a few large ones.
+const (
+	arenaWordChunkMin, arenaWordChunkMax = 128, 8192
+	arenaKeyChunkMin, arenaKeyChunkMax   = 32, 2048
+	arenaNodeChunkMin, arenaNodeChunkMax = 16, 512
+)
+
+// nodeArena allocates the permanent per-node data of one engine run.
+// The zero value is ready to use.
+type nodeArena struct {
+	words []uint64
+	keys  []engineKey
+	nodes []engineNode
+
+	wordSz, keySz, nodeSz int // next chunk sizes
+}
+
+// chunkSize doubles *sz within [min, max] and returns a size ≥ need.
+func chunkSize(sz *int, min, max, need int) int {
+	if *sz < min {
+		*sz = min
+	}
+	n := *sz
+	if *sz < max {
+		*sz *= 2
+	}
+	if need > n {
+		n = need
+	}
+	return n
+}
+
+// set copies s into the word slab, trimmed of trailing zero words (every
+// VertexSet operation tolerates short operands). Returns nil for the
+// empty set.
+func (a *nodeArena) set(s hypergraph.VertexSet) hypergraph.VertexSet {
+	n := len(s)
+	for n > 0 && s[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	if len(a.words) < n {
+		a.words = make([]uint64, chunkSize(&a.wordSz, arenaWordChunkMin, arenaWordChunkMax, n))
+	}
+	out := a.words[:n:n]
+	a.words = a.words[n:]
+	copy(out, s[:n])
+	return hypergraph.VertexSet(out)
+}
+
+// keySlice copies ks into the key slab. Returns nil for an empty slice.
+func (a *nodeArena) keySlice(ks []engineKey) []engineKey {
+	n := len(ks)
+	if n == 0 {
+		return nil
+	}
+	if len(a.keys) < n {
+		a.keys = make([]engineKey, chunkSize(&a.keySz, arenaKeyChunkMin, arenaKeyChunkMax, n))
+	}
+	out := a.keys[:n:n]
+	a.keys = a.keys[n:]
+	copy(out, ks)
+	return out
+}
+
+// node returns a zeroed engineNode from the node slab. The pointer stays
+// valid for the arena's lifetime: chunks are re-sliced, never moved.
+func (a *nodeArena) node() *engineNode {
+	if len(a.nodes) == 0 {
+		a.nodes = make([]engineNode, chunkSize(&a.nodeSz, arenaNodeChunkMin, arenaNodeChunkMax, 1))
+	}
+	n := &a.nodes[0]
+	a.nodes = a.nodes[1:]
+	return n
+}

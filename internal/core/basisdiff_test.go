@@ -1,0 +1,112 @@
+package core_test
+
+// Differential tests for the PR-6 cross-scope warm-basis cache: an
+// iterative-deepening sequence of CheckFHD levels sharing one
+// cover.BasisCache (the solve.deepenFHDCheck wiring) must decide — and
+// weigh — exactly like the same sequence with a fresh cache per level.
+// The cover LP is k-independent (k only thresholds the optimum), so a
+// warm basis revived from another level or another DFS scope can steer
+// the pivot order but never the optimum; these tests pin that argument
+// over the testdata/corpus mini corpus and the generator families,
+// mirroring the PR-5 lazy-vs-eager pattern in fhddiff_test.go.
+
+import (
+	"testing"
+
+	"hypertree/internal/core"
+	"hypertree/internal/corpus"
+	"hypertree/internal/cover"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// diffBasisDeepening runs the deepening loop twice over h — one shared
+// cache across levels versus a fresh cache per level — comparing the
+// decision at every level and the witness width at acceptance. Returns
+// the shared cache's stats so callers can assert warm reuse happened.
+func diffBasisDeepening(t *testing.T, name string, h *hypergraph.Hypergraph, maxK int) cover.BasisCacheStats {
+	t.Helper()
+	shared := cover.NewBasisCache(0)
+	for k := 1; k <= maxK; k++ {
+		kr := lp.RI(int64(k))
+		ds, err := core.CheckFHD(h, kr, core.FHDOptions{Basis: shared})
+		if err != nil {
+			t.Fatalf("%s: shared-cache CheckFHD at k=%d: %v", name, k, err)
+		}
+		df, err := core.CheckFHD(h, kr, core.FHDOptions{})
+		if err != nil {
+			t.Fatalf("%s: fresh-cache CheckFHD at k=%d: %v", name, k, err)
+		}
+		if (ds == nil) != (df == nil) {
+			t.Fatalf("%s: decision mismatch at k=%d: shared=%v fresh=%v",
+				name, k, ds != nil, df != nil)
+		}
+		if ds == nil {
+			continue
+		}
+		if ds.Width().Cmp(df.Width()) != 0 {
+			t.Fatalf("%s: width mismatch at k=%d: shared=%s fresh=%s",
+				name, k, ds.Width().RatString(), df.Width().RatString())
+		}
+		if err := ds.ValidateWidth(decomp.FHD, kr); err != nil {
+			t.Fatalf("%s: shared-cache witness invalid at k=%d: %v", name, k, err)
+		}
+		break
+	}
+	return shared.Stats()
+}
+
+// TestFHDSharedBasisCacheMatchesFreshOnCorpus runs the differential over
+// every tractable instance of the mini corpus and checks that the shared
+// cache actually revived bases somewhere — a cache that never hits would
+// make the differential vacuous.
+func TestFHDSharedBasisCacheMatchesFreshOnCorpus(t *testing.T) {
+	instances, err := corpus.LoadDir("../../testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) == 0 {
+		t.Fatal("empty corpus")
+	}
+	ran, hits := 0, 0
+	for _, in := range instances {
+		h, _, err := in.Read()
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if !fhdDiffable(h) {
+			continue
+		}
+		ran++
+		s := diffBasisDeepening(t, in.Name, h, 3)
+		hits += s.Hits
+	}
+	if ran < 10 {
+		t.Fatalf("only %d corpus instances were diffable; the gate is too tight", ran)
+	}
+	if hits == 0 {
+		t.Fatal("the shared cache never revived a warm basis across the corpus")
+	}
+}
+
+// TestFHDSharedBasisCacheMatchesFreshOnGenerators runs the differential
+// over generator families whose deepening spans at least two levels, so
+// cross-level revival (the deepenFHDCheck sharing pattern) is exercised,
+// not just cross-scope revival within one run.
+func TestFHDSharedBasisCacheMatchesFreshOnGenerators(t *testing.T) {
+	fixtures := map[string]*hypergraph.Hypergraph{
+		"cycle6":     hypergraph.Cycle(6),
+		"clique4":    hypergraph.Clique(4),
+		"grid2x3":    hypergraph.Grid(2, 3),
+		"hypercycle": hypergraph.HyperCycle(6, 3, 1),
+	}
+	hits := 0
+	for name, h := range fixtures {
+		s := diffBasisDeepening(t, name, h, 3)
+		hits += s.Hits
+	}
+	if hits == 0 {
+		t.Fatal("the shared cache never revived a warm basis across the generators")
+	}
+}

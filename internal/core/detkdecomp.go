@@ -40,6 +40,11 @@ type hdOracle struct {
 	// consumed before the engine recurses, so reuse is safe.
 	scope, b, bag hypergraph.VertexSet
 	ebuf          hypergraph.EdgeSet
+
+	// Mark-rolled per-subproblem stacks shared across the recursion
+	// (same discipline as ghdOracle.ordBuf/lamBuf).
+	candBuf []int // candidate edges of the enumerating subproblems
+	lamBuf  []int // the shared λ stack
 }
 
 func newHDOracle(h *hypergraph.Hypergraph, k int) *hdOracle {
@@ -60,40 +65,52 @@ func (o *hdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, tr
 	// passes reproduce the historical sorted order exactly.
 	o.scope = o.scope.CopyFrom(w).UnionInPlace(c)
 	o.ebuf = o.h.EdgesIntersectingSet(o.scope, o.ebuf)
-	candidates := make([]int, 0, o.ebuf.Count())
+	candMark, lamMark := len(o.candBuf), len(o.lamBuf)
 	o.ebuf.ForEach(func(ed int) bool {
 		if o.h.Edge(ed).Intersects(c) {
-			candidates = append(candidates, ed)
+			o.candBuf = append(o.candBuf, ed)
 		}
 		return true
 	})
 	o.ebuf.ForEach(func(ed int) bool {
 		if !o.h.Edge(ed).Intersects(c) {
-			candidates = append(candidates, ed)
+			o.candBuf = append(o.candBuf, ed)
 		}
 		return true
 	})
 
-	lambda := make([]int, 0, o.k)
 	var rec func(start int) bool
 	rec = func(start int) bool {
-		if len(lambda) > 0 && o.check(e, c, w, lambda, try) {
+		if len(o.lamBuf) > lamMark && o.check(e, c, w, o.lamBuf[lamMark:], try) {
 			return true
 		}
-		if len(lambda) == o.k {
+		if len(o.lamBuf)-lamMark == o.k {
 			return false
 		}
-		for i := start; i < len(candidates); i++ {
-			lambda = append(lambda, candidates[i])
+		for i := start; candMark+i < len(o.candBuf); i++ {
+			ed := o.candBuf[candMark+i]
+			o.lamBuf = append(o.lamBuf, ed)
+			// Mirror the push into the engine's component structure: the
+			// components of c under B(λ) ∩ scope equal those under B(λ),
+			// since c ⊆ scope. Keyed by candidate index.
+			e.compPush(i, o.h.Edge(ed))
 			if rec(i + 1) {
 				return true
 			}
-			lambda = lambda[:len(lambda)-1]
+			e.compPop()
+			o.lamBuf = o.lamBuf[:len(o.lamBuf)-1]
 		}
 		return false
 	}
-	return rec(0)
+	res := rec(0)
+	o.candBuf = o.candBuf[:candMark]
+	o.lamBuf = o.lamBuf[:lamMark]
+	return res
 }
+
+// dynAware: the λ stack above is mirrored into the engine's incremental
+// component structure.
+func (o *hdOracle) dynAware() {}
 
 // check tests one guess λ. The rejection path — the overwhelming
 // majority of calls — runs entirely on scratch buffers.
@@ -138,6 +155,7 @@ func checkHD(h *hypergraph.Hypergraph, k int, done <-chan struct{}) *decomp.Deco
 		return nil
 	}
 	e := newEngine(h, newHDOracle(h, k), false, done)
+	defer e.finish()
 	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if !ok {
 		return nil

@@ -11,8 +11,26 @@ package core
 // interface captures; the engine owns everything else — subproblem
 // interning and memoization, cooperative cancellation, component
 // splitting, connector computation and witness reconstruction.
+//
+// Since PR 6 the engine is incremental in its two hot dimensions.
+// Connectivity: each subproblem owns a hypergraph.DynComponents that
+// maintains the [bag]-components under push/pop of the oracle's guessed
+// atoms (dynAware oracles drive it through the shared λ stack), seeded
+// from the parent component's record so re-targeting to a child skips
+// the base BFS; per-guess ComponentsOf survives only in the frac-decomp
+// oracle, whose bags are not stack-shaped. Memory: memoized data (memo
+// nodes, key slices, canonical set words) is carved from geometric
+// arenas owned by the run, speculative per-frame state lives in
+// mark-rolled buffers on the oracles, and the DynComponents structures
+// recycle across runs through a package-level sync.Pool — so a warmed
+// Check(·,k) run settles at a small constant number of allocations
+// (pinned in alloc_test.go). The FHD oracle's cover LPs warm-start
+// across scopes and runs through cover.BasisCache (see FHDOptions.Basis
+// and solve.deepenFHDCheck).
 
 import (
+	"sync"
+
 	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
@@ -94,6 +112,15 @@ func (sc *scopeCache[T]) get(scope hypergraph.VertexSet, build func(canon hyperg
 	return sc.slots[id]
 }
 
+// dynAware marks oracles whose guess loops mirror their λ/support stack
+// into the engine's dynamic component structure via compPush/compPop.
+// For such oracles the engine maintains each subproblem's
+// [bag]-components incrementally (hypergraph.DynComponents) instead of
+// recomputing ComponentsOf per accepted guess; oracles that do not
+// mirror their stack (frac-decomp's Ws enumeration has no stack shape)
+// keep the recompute path.
+type dynAware interface{ dynAware() }
+
 // engine is the state of one Check(·,k) run.
 type engine struct {
 	h      *hypergraph.Hypergraph // connectivity host: components and connectors
@@ -111,15 +138,93 @@ type engine struct {
 	// Scratch buffers; each is fully consumed before any recursive call.
 	wc   hypergraph.VertexSet
 	ebuf hypergraph.EdgeSet
+
+	// Incremental connectivity (dynAware oracles only): dyn is the
+	// borrowed component structure of the subproblem currently
+	// enumerating guesses — its stack mirrors the oracle's λ stack — and
+	// dynFree recycles structures across subproblems. dynSeed carries
+	// the parent component's EdgeVerts across one decompose call so the
+	// child's base partition is seeded without a BFS (tryChildren sets
+	// it, decompose consumes it).
+	useDyn  bool
+	dyn     *hypergraph.DynComponents
+	dynFree []*hypergraph.DynComponents
+	dynSeed hypergraph.VertexSet
+
+	// Epoch arena for permanent (memoized) node data, plus the
+	// speculative per-guess scratch it keeps off the heap: depth-indexed
+	// bag buffers and mark-rolled child-key / component stacks shared by
+	// the whole recursion (see tryChildren).
+	arena    nodeArena
+	depth    int
+	bagBufs  []hypergraph.VertexSet
+	childBuf []engineKey
+	compBuf  []*hypergraph.DynComp
 }
 
 func newEngine(h *hypergraph.Hypergraph, o coverOracle, trim bool, done <-chan struct{}) *engine {
+	_, useDyn := o.(dynAware)
 	return &engine{
 		h: h, oracle: o, trim: trim, done: done,
-		memo: map[engineKey]*engineNode{},
-		wc:   hypergraph.NewVertexSet(h.NumVertices()),
-		ebuf: hypergraph.NewEdgeSet(h.NumEdges()),
+		memo:   map[engineKey]*engineNode{},
+		wc:     hypergraph.NewVertexSet(h.NumVertices()),
+		ebuf:   hypergraph.NewEdgeSet(h.NumEdges()),
+		useDyn: useDyn,
 	}
+}
+
+// compPush mirrors an oracle's λ-stack push into the current
+// subproblem's dynamic component structure; key must identify the atom
+// uniquely within the oracle's candidate list (the oracles use the
+// candidate index). No-op under non-dynAware oracles.
+func (e *engine) compPush(key int, set hypergraph.VertexSet) {
+	if e.dyn != nil {
+		e.dyn.Push(key, set)
+	}
+}
+
+// compPop mirrors an oracle's λ-stack pop.
+func (e *engine) compPop() {
+	if e.dyn != nil {
+		e.dyn.Pop()
+	}
+}
+
+// dynPool recycles DynComponents across engine runs: iterative
+// deepening builds one engine per level, and a structure's slices (atom
+// stack, undo log, component records, BFS scratch) warm up once and then
+// serve every later run at zero allocation.
+var dynPool = sync.Pool{New: func() any { return &hypergraph.DynComponents{} }}
+
+// getDyn borrows a component structure over scope c, recycling retired
+// ones (this run's first, then the cross-run pool). When the caller is
+// a child subproblem, seedEV is the parent component's EdgeVerts and the
+// base partition is seeded directly ({c} is connected by construction);
+// otherwise Reset defers the base BFS to the first query, so subproblems
+// whose guesses all reject early never pay it.
+func (e *engine) getDyn(c, seedEV hypergraph.VertexSet) *hypergraph.DynComponents {
+	var dc *hypergraph.DynComponents
+	if n := len(e.dynFree); n > 0 {
+		dc = e.dynFree[n-1]
+		e.dynFree = e.dynFree[:n-1]
+	} else {
+		dc = dynPool.Get().(*hypergraph.DynComponents)
+	}
+	dc.Reset(e.h, c)
+	if seedEV != nil {
+		dc.SeedBase(seedEV)
+	}
+	return dc
+}
+
+// finish releases the engine's pooled structures for later runs. Entry
+// points defer it after newEngine; the memoized nodes and arena stay
+// with the engine (build reads them), only the dyn structures move.
+func (e *engine) finish() {
+	for _, dc := range e.dynFree {
+		dynPool.Put(dc)
+	}
+	e.dynFree = e.dynFree[:0]
 }
 
 // poll checks for cancellation every pollMask+1 calls. Oracles call it
@@ -137,6 +242,10 @@ func (e *engine) poll() {
 // they are interned immediately and replaced by stable canonical copies.
 func (e *engine) decompose(c hypergraph.VertexSet, st engineState) (engineKey, bool) {
 	e.poll()
+	// Consume the base seed unconditionally — a memo hit must not leak
+	// it to the next decompose call.
+	seedEV := e.dynSeed
+	e.dynSeed = nil
 	cid, c, _ := e.intern.Intern(c)
 	aid, a, _ := e.intern.Intern(st.a)
 	key := engineKey{c: int32(cid), a: int32(aid), b: -1}
@@ -149,6 +258,11 @@ func (e *engine) decompose(c hypergraph.VertexSet, st engineState) (engineKey, b
 	if n, done := e.memo[key]; done {
 		return key, n != nil
 	}
+	var prevDyn *hypergraph.DynComponents
+	if e.useDyn {
+		prevDyn = e.dyn
+		e.dyn = e.getDyn(c, seedEV)
+	}
 	var node *engineNode
 	e.oracle.guesses(e, c, st, func(g engineGuess) bool {
 		// Progress invariant: a bag disjoint from C would recreate the
@@ -157,8 +271,66 @@ func (e *engine) decompose(c hypergraph.VertexSet, st engineState) (engineKey, b
 		if !g.bag.Intersects(c) {
 			return false
 		}
-		bag := g.bag.Clone()
-		var children []engineKey
+		bag, children, ok := e.tryChildren(c, g)
+		if !ok {
+			return false
+		}
+		node = e.arena.node()
+		node.bag, node.cover, node.children = bag, g.cover(), children
+		if e.trim {
+			node.comp = c
+		}
+		return true
+	})
+	if e.useDyn {
+		e.dynFree = append(e.dynFree, e.dyn)
+		e.dyn = prevDyn
+	}
+	e.memo[key] = node
+	return key, node != nil
+}
+
+// tryChildren recurses into the [bag]-components of c for one guess.
+// All speculative state lives in depth-indexed buffers and mark-rolled
+// stacks: a rejected guess truncates back to its marks and allocates
+// nothing. On acceptance the bag and children move into the arena.
+//
+// Under a dynAware oracle the components come from the subproblem's
+// incrementally maintained structure — synced here, for the first time
+// along this guess's stack — and the child connector bag ∩ V(edges(C'))
+// is read off the component's edge-vertex union instead of re-walking
+// the incidence index (engine.connector).
+func (e *engine) tryChildren(c hypergraph.VertexSet, g engineGuess) (hypergraph.VertexSet, []engineKey, bool) {
+	d := e.depth
+	e.depth++
+	for len(e.bagBufs) <= d {
+		e.bagBufs = append(e.bagBufs, hypergraph.NewVertexSet(e.h.NumVertices()))
+	}
+	bag := e.bagBufs[d].CopyFrom(g.bag)
+	e.bagBufs[d] = bag
+	ckMark := len(e.childBuf)
+	ok := true
+	if e.dyn != nil {
+		cmMark := len(e.compBuf)
+		e.compBuf = e.dyn.Components(e.compBuf)
+		for _, comp := range e.compBuf[cmMark:] {
+			var cst engineState
+			if g.childState != nil {
+				cst = *g.childState
+			} else {
+				e.wc = e.wc.CopyFrom(comp.EdgeVerts).IntersectInPlace(bag)
+				cst = engineState{a: e.wc}
+			}
+			e.dynSeed = comp.EdgeVerts
+			ck, cok := e.decompose(comp.Verts, cst)
+			if !cok {
+				ok = false
+				break
+			}
+			e.childBuf = append(e.childBuf, ck)
+		}
+		e.compBuf = e.compBuf[:cmMark]
+	} else {
 		for _, comp := range e.h.ComponentsOf(bag, c) {
 			var cst engineState
 			if g.childState != nil {
@@ -166,20 +338,22 @@ func (e *engine) decompose(c hypergraph.VertexSet, st engineState) (engineKey, b
 			} else {
 				cst = engineState{a: e.connector(comp, bag)}
 			}
-			ck, ok := e.decompose(comp, cst)
-			if !ok {
-				return false
+			ck, cok := e.decompose(comp, cst)
+			if !cok {
+				ok = false
+				break
 			}
-			children = append(children, ck)
+			e.childBuf = append(e.childBuf, ck)
 		}
-		node = &engineNode{bag: bag, cover: g.cover(), children: children}
-		if e.trim {
-			node.comp = c
-		}
-		return true
-	})
-	e.memo[key] = node
-	return key, node != nil
+	}
+	e.depth--
+	if !ok {
+		e.childBuf = e.childBuf[:ckMark]
+		return nil, nil, false
+	}
+	children := e.arena.keySlice(e.childBuf[ckMark:])
+	e.childBuf = e.childBuf[:ckMark]
+	return e.arena.set(bag), children, true
 }
 
 // connector computes the child connector W' = bag ∩ V(edges(C')) on

@@ -28,6 +28,14 @@ type FHDOptions struct {
 	// the cap trips, CheckFHD falls back to the eager h_{d,k} closure of
 	// Lemma 5.17 under the same cap.
 	MaxSubedges int
+	// Basis, when non-nil, is the warm-basis cache the run draws its
+	// cover-LP solvers from. Sharing one cache across runs on the SAME
+	// hypergraph (iterative deepening over k: the cover LP is
+	// k-independent, k only thresholds the optimum) lets subproblems
+	// seed their solves from bases retired in earlier levels. When nil
+	// the run uses a private cache. A BasisCache is not safe for
+	// concurrent use — do not share across parallel strategies.
+	Basis *cover.BasisCache
 }
 
 // fhdAtom is one candidate bag contribution for the FHD oracle: a
@@ -48,7 +56,7 @@ type fhdCands struct {
 	orig  []fhdAtom            // first-round atoms: e ∩ scope per edge e meeting scope
 	subs  []fhdAtom            // lazily generated subedge atoms
 	full  bool                 // subs has been generated (always true in eager mode)
-	seen  map[int]bool         // pool ids already present in orig/subs
+	seen  hypergraph.VertexSet // pool-id bitset: ids already present in orig/subs
 }
 
 // fhdOracle chooses covers for Check(FHD,k) per Theorem 5.22: a guess is
@@ -90,40 +98,31 @@ type fhdOracle struct {
 	supports hypergraph.Interner      // interned chosen-atom id sets
 	lpMemo   map[int]map[int]*big.Rat // support id → atom id → weight (nil = no cover ≤ k)
 
-	incFree []*cover.Incremental // warm LP solvers, one per live recursion depth
+	basis *cover.BasisCache // warm LP solvers, keyed by retired scope
 
 	// Scratch buffers; each is fully consumed before the engine recurses.
 	scope, b hypergraph.VertexSet
 	cset     hypergraph.VertexSet // chosen-atom id bitset for support interning
 	ebuf     hypergraph.EdgeSet
+
+	// Mark-rolled per-subproblem stacks shared across the recursion
+	// (same discipline as ghdOracle.ordBuf/lamBuf).
+	ordBuf []fhdAtom // candidate order of the enumerating subproblems
+	choBuf []fhdAtom // the shared chosen-support stack
 }
 
-func newFHDOracle(h *hypergraph.Hypergraph, aug *Augmented, k *big.Rat, maxSupport, maxSets int) *fhdOracle {
+func newFHDOracle(h *hypergraph.Hypergraph, aug *Augmented, k *big.Rat, maxSupport, maxSets int, basis *cover.BasisCache) *fhdOracle {
+	if basis == nil {
+		basis = cover.NewBasisCache(0)
+	}
 	n := h.NumVertices()
 	return &fhdOracle{
-		h: h, aug: aug, k: k, maxSupport: maxSupport, maxSets: maxSets,
+		h: h, aug: aug, k: k, maxSupport: maxSupport, maxSets: maxSets, basis: basis,
 		lpMemo: map[int]map[int]*big.Rat{},
 		scope:  hypergraph.NewVertexSet(n),
 		b:      hypergraph.NewVertexSet(n),
 		ebuf:   hypergraph.NewEdgeSet(h.NumEdges()),
 	}
-}
-
-// getInc borrows a warm incremental solver for one guesses invocation.
-// Child subproblems recurse from inside try, so invocations nest; each
-// holds its own solver and returns it on exit.
-func (o *fhdOracle) getInc(scope hypergraph.VertexSet) *cover.Incremental {
-	if n := len(o.incFree); n > 0 {
-		ic := o.incFree[n-1]
-		o.incFree = o.incFree[:n-1]
-		ic.Reset(scope)
-		return ic
-	}
-	return cover.NewIncremental(scope)
-}
-
-func (o *fhdOracle) putInc(ic *cover.Incremental) {
-	o.incFree = append(o.incFree, ic)
 }
 
 func (o *fhdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, try func(engineGuess) bool) bool {
@@ -138,16 +137,16 @@ func (o *fhdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 	// create progress), first-round atoms before generated subedges so
 	// that the expensive generation only runs when they cannot finish
 	// the level.
-	var ordered []fhdAtom
+	ordMark, choMark := len(o.ordBuf), len(o.choBuf)
 	appendOrdered := func(atoms []fhdAtom) {
 		for _, a := range atoms {
 			if a.set.Intersects(c) {
-				ordered = append(ordered, a)
+				o.ordBuf = append(o.ordBuf, a)
 			}
 		}
 		for _, a := range atoms {
 			if !a.set.Intersects(c) {
-				ordered = append(ordered, a)
+				o.ordBuf = append(o.ordBuf, a)
 			}
 		}
 	}
@@ -157,23 +156,26 @@ func (o *fhdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 		appendOrdered(cd.subs)
 	}
 
-	inc := o.getInc(cd.scope)
-	defer o.putInc(inc)
+	// Borrow a cover-LP solver for this invocation — warm-based when the
+	// cache has seen this scope before, in this run or an earlier one.
+	// Child subproblems recurse from inside try, so invocations nest;
+	// each holds its own solver and stashes it back on exit.
+	inc := o.basis.Get(cd.scope)
+	defer o.basis.Put(cd.scope, inc)
 
-	chosen := make([]fhdAtom, 0, o.maxSupport)
 	var rec func(start int) bool
 	rec = func(start int) bool {
 		if o.err != nil {
 			return false
 		}
-		if len(chosen) > 0 && o.check(e, inc, c, w, chosen, try) {
+		if len(o.choBuf) > choMark && o.check(e, inc, c, w, o.choBuf[choMark:], try) {
 			return true
 		}
-		if len(chosen) == o.maxSupport {
+		if len(o.choBuf)-choMark == o.maxSupport {
 			return false
 		}
 		for i := start; ; i++ {
-			if i >= len(ordered) {
+			if ordMark+i >= len(o.ordBuf) {
 				if extended {
 					break
 				}
@@ -183,33 +185,43 @@ func (o *fhdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 					return false
 				}
 				appendOrdered(cd.subs)
-				if i >= len(ordered) {
+				if ordMark+i >= len(o.ordBuf) {
 					break
 				}
 			}
-			chosen = append(chosen, ordered[i])
-			inc.Push(ordered[i].id, ordered[i].set)
+			a := o.ordBuf[ordMark+i]
+			o.choBuf = append(o.choBuf, a)
+			inc.Push(a.id, a.set)
+			e.compPush(i, a.set) // keyed by ordered-list index
 			if rec(i + 1) {
 				return true
 			}
+			e.compPop()
 			inc.Pop()
-			chosen = chosen[:len(chosen)-1]
+			o.choBuf = o.choBuf[:len(o.choBuf)-1]
 		}
 		return false
 	}
-	return rec(0)
+	res := rec(0)
+	o.ordBuf = o.ordBuf[:ordMark]
+	o.choBuf = o.choBuf[:choMark]
+	return res
 }
+
+// dynAware: the support stack above is mirrored into the engine's
+// incremental component structure.
+func (o *fhdOracle) dynAware() {}
 
 // buildCands assembles the first-round atoms of a scope: in lazy mode
 // the sets e ∩ scope of the original edges meeting the scope; in eager
 // mode every augmented edge contained in the scope (the pre-PR-5
 // candidate rule, kept for explicit pools).
 func (o *fhdOracle) buildCands(canonScope hypergraph.VertexSet) *fhdCands {
-	cd := &fhdCands{scope: canonScope, seen: map[int]bool{}}
+	cd := &fhdCands{scope: canonScope}
 	add := func(s hypergraph.VertexSet, orig int) {
 		id, canon, _ := o.pool.Intern(s)
-		if !cd.seen[id] {
-			cd.seen[id] = true
+		if !cd.seen.Has(id) {
+			cd.seen.Add(id)
 			cd.orig = append(cd.orig, fhdAtom{set: canon, id: id, orig: orig})
 		}
 	}
@@ -227,7 +239,8 @@ func (o *fhdOracle) buildCands(canonScope hypergraph.VertexSet) *fhdCands {
 	}
 	o.ebuf = o.h.EdgesIntersectingSet(canonScope, o.ebuf)
 	o.ebuf.ForEach(func(ed int) bool {
-		add(o.h.Edge(ed).Intersect(canonScope), ed)
+		o.b = o.b.CopyFrom(o.h.Edge(ed)).IntersectInPlace(canonScope)
+		add(o.b, ed)
 		return true
 	})
 	return cd
@@ -260,10 +273,10 @@ func (o *fhdOracle) extend(e *engine, cd *fhdCands) {
 				return fmt.Errorf("core: full subedge closure exceeds %d sets", o.maxSets)
 			}
 		}
-		if cd.seen[id] {
+		if cd.seen.Has(id) {
 			return nil
 		}
-		cd.seen[id] = true
+		cd.seen.Add(id)
 		cd.subs = append(cd.subs, fhdAtom{set: canon, id: id, orig: orig})
 		return nil
 	}
@@ -275,7 +288,7 @@ func (o *fhdOracle) extend(e *engine, cd *fhdCands) {
 			return
 		}
 	}
-	cd.seen = nil // dedup is only needed while generating; free the map
+	cd.seen = nil // dedup is only needed while generating; free the bitset
 }
 
 // check tests one guess S of atoms: B = ⋃S on scratch, the cheap bag
@@ -385,7 +398,7 @@ func checkFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions, done <-chan 
 	if opt.Subedges != nil {
 		aug = Augment(h, opt.Subedges)
 	}
-	dec, err := runFHD(h, aug, k, maxSupport, max, done)
+	dec, err := runFHD(h, aug, k, maxSupport, max, opt.Basis, done)
 	if err == nil || aug != nil {
 		return dec, err
 	}
@@ -396,14 +409,15 @@ func checkFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions, done <-chan 
 	if herr != nil {
 		return nil, herr
 	}
-	return runFHD(h, Augment(h, subs), k, maxSupport, max, done)
+	return runFHD(h, Augment(h, subs), k, maxSupport, max, opt.Basis, done)
 }
 
 // runFHD runs the engine once over a fixed candidate source (lazy f⁺
 // when aug is nil, the augmented pool otherwise).
-func runFHD(h *hypergraph.Hypergraph, aug *Augmented, k *big.Rat, maxSupport, maxSets int, done <-chan struct{}) (*decomp.Decomp, error) {
-	o := newFHDOracle(h, aug, k, maxSupport, maxSets)
+func runFHD(h *hypergraph.Hypergraph, aug *Augmented, k *big.Rat, maxSupport, maxSets int, basis *cover.BasisCache, done <-chan struct{}) (*decomp.Decomp, error) {
+	o := newFHDOracle(h, aug, k, maxSupport, maxSets, basis)
 	e := newEngine(h, o, false, done)
+	defer e.finish()
 	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if o.err != nil {
 		return nil, o.err

@@ -62,6 +62,14 @@ type ghdOracle struct {
 	// Scratch buffers; each is fully consumed before the engine recurses.
 	scope, b hypergraph.VertexSet
 	ebuf     hypergraph.EdgeSet
+
+	// Mark-rolled per-subproblem stacks shared across the recursion
+	// (same discipline as the engine's childBuf): a frame appends its
+	// segment, reads it via the field — deeper frames always truncate
+	// back before returning, and appends never touch live segments
+	// below the frame's mark — and truncates on exit.
+	ordBuf []ghdAtom // candidate order of the enumerating subproblems
+	lamBuf []ghdAtom // the shared λ stack
 }
 
 // ghdCands is the per-scope candidate cache.
@@ -70,7 +78,7 @@ type ghdCands struct {
 	orig  []ghdAtom            // original-edge atoms, ascending edge id
 	subs  []ghdAtom            // lazily generated subedge atoms
 	full  bool                 // subs has been generated
-	seen  map[int]bool         // pool ids already present in orig/subs
+	seen  hypergraph.VertexSet // pool-id bitset: ids already present in orig/subs
 }
 
 // ghdAtom is one candidate bag contribution: a set ⊆ scope and an
@@ -98,12 +106,13 @@ func (o *ghdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 	w := st.a
 	o.scope = o.scope.CopyFrom(w).UnionInPlace(c)
 	cd := o.cands.get(o.scope, func(canonScope hypergraph.VertexSet) *ghdCands {
-		cd := &ghdCands{scope: canonScope, seen: map[int]bool{}}
+		cd := &ghdCands{scope: canonScope}
 		o.ebuf = o.h.EdgesIntersectingSet(canonScope, o.ebuf)
 		o.ebuf.ForEach(func(ed int) bool {
-			id, canon, _ := o.pool.Intern(o.h.Edge(ed).Intersect(canonScope))
-			if !cd.seen[id] {
-				cd.seen[id] = true
+			o.b = o.b.CopyFrom(o.h.Edge(ed)).IntersectInPlace(canonScope)
+			id, canon, _ := o.pool.Intern(o.b)
+			if !cd.seen.Has(id) {
+				cd.seen.Add(id)
 				cd.orig = append(cd.orig, ghdAtom{set: canon, orig: ed})
 			}
 			return true
@@ -114,16 +123,16 @@ func (o *ghdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 	// Subproblem-local candidate order: atoms intersecting C first (they
 	// create progress), originals before subedges so that the expensive
 	// generation only runs when original edges cannot finish the level.
-	var ordered []ghdAtom
+	ordMark, lamMark := len(o.ordBuf), len(o.lamBuf)
 	appendOrdered := func(atoms []ghdAtom) {
 		for _, a := range atoms {
 			if a.set.Intersects(c) {
-				ordered = append(ordered, a)
+				o.ordBuf = append(o.ordBuf, a)
 			}
 		}
 		for _, a := range atoms {
 			if !a.set.Intersects(c) {
-				ordered = append(ordered, a)
+				o.ordBuf = append(o.ordBuf, a)
 			}
 		}
 	}
@@ -133,20 +142,19 @@ func (o *ghdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 		appendOrdered(cd.subs)
 	}
 
-	lambda := make([]ghdAtom, 0, o.k)
 	var rec func(start int) bool
 	rec = func(start int) bool {
 		if o.err != nil {
 			return false
 		}
-		if len(lambda) > 0 && o.check(e, c, w, lambda, try) {
+		if len(o.lamBuf) > lamMark && o.check(e, c, w, o.lamBuf[lamMark:], try) {
 			return true
 		}
-		if len(lambda) == o.k {
+		if len(o.lamBuf)-lamMark == o.k {
 			return false
 		}
 		for i := start; ; i++ {
-			if i >= len(ordered) {
+			if ordMark+i >= len(o.ordBuf) {
 				if extended {
 					break
 				}
@@ -156,20 +164,30 @@ func (o *ghdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 					return false
 				}
 				appendOrdered(cd.subs)
-				if i >= len(ordered) {
+				if ordMark+i >= len(o.ordBuf) {
 					break
 				}
 			}
-			lambda = append(lambda, ordered[i])
+			a := o.ordBuf[ordMark+i]
+			o.lamBuf = append(o.lamBuf, a)
+			e.compPush(i, a.set) // keyed by ordered-list index
 			if rec(i + 1) {
 				return true
 			}
-			lambda = lambda[:len(lambda)-1]
+			e.compPop()
+			o.lamBuf = o.lamBuf[:len(o.lamBuf)-1]
 		}
 		return false
 	}
-	return rec(0)
+	res := rec(0)
+	o.ordBuf = o.ordBuf[:ordMark]
+	o.lamBuf = o.lamBuf[:lamMark]
+	return res
 }
+
+// dynAware: the λ stack above is mirrored into the engine's incremental
+// component structure.
+func (o *ghdOracle) dynAware() {}
 
 // check tests one guess λ of atoms. Atoms are subsets of the scope, so
 // the bag is their plain union.
@@ -225,10 +243,10 @@ func (o *ghdOracle) extend(e *engine, cd *ghdCands) {
 				return fmt.Errorf("core: BIP subedge closure exceeds %d sets", o.maxSets)
 			}
 		}
-		if cd.seen[id] {
+		if cd.seen.Has(id) {
 			return nil
 		}
-		cd.seen[id] = true
+		cd.seen.Add(id)
 		cd.subs = append(cd.subs, ghdAtom{set: canon, orig: orig})
 		return nil
 	}
@@ -325,6 +343,7 @@ func checkGHD(h *hypergraph.Hypergraph, k int, opt Options, exact bool, done <-c
 	}
 	o := newGHDOracle(h, k, exact, max)
 	e := newEngine(h, o, false, done)
+	defer e.finish()
 	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if o.err != nil {
 		return nil, o.err

@@ -106,14 +106,57 @@ func (ic *Incremental) Pop() {
 // Depth returns the current stack depth.
 func (ic *Incremental) Depth() int { return len(ic.desired) }
 
+// Retarget prepares a solver for reuse on the same scope by a new
+// enumeration: the caller's stack is cleared while the synced rows and
+// the factored warm basis stay alive, so the next Solve retires or
+// installs only the difference between the retired enumeration's stack
+// and whatever the new caller pushes. A memo-adjacent subproblem that
+// re-derives a shared support prefix resumes in a few pivots instead of
+// a cold start (see BasisCache).
+func (ic *Incremental) Retarget() {
+	ic.desired = ic.desired[:0]
+}
+
+// ApproxBytes is a flat estimate of the memory ic retains, for cache
+// budgeting (see lp.WarmProblem.ApproxBytes).
+func (ic *Incremental) ApproxBytes() int64 {
+	b := ic.wp.ApproxBytes()
+	b += int64(len(ic.scope)+len(ic.varOf)+len(ic.refs)+len(ic.coef)) * 8
+	b += int64(cap(ic.desired)+cap(ic.synced)) * 48
+	return b
+}
+
 // sync brings the tableau in line with the desired stack: retire rows
 // past the common prefix, then install the missing ones. Along a DFS the
 // prefixes are long, so the work is proportional to the stack movement
 // since the last Solve.
+//
+// Prefix matching compares the sets, not just the keys: within one
+// enumeration the keys (interned pool ids) are canonical, but a solver
+// revived by a BasisCache carries rows synced by a previous engine run
+// whose pool assigned the same ids to different atoms. The Equal
+// confirms a matched layer really is the same atom — set identity is
+// what makes reusing its row sound.
 func (ic *Incremental) sync() {
 	p := 0
-	for p < len(ic.synced) && p < len(ic.desired) && ic.synced[p].key == ic.desired[p].key {
+	for p < len(ic.synced) && p < len(ic.desired) &&
+		ic.synced[p].key == ic.desired[p].key &&
+		ic.synced[p].set.Equal(ic.desired[p].set) {
 		p++
+	}
+	if p == 0 && len(ic.synced) > 0 {
+		// Nothing of the synced stack is reusable. Retiring it row by row
+		// would pivot each slack back into the basis — exact-rational work
+		// proportional to the tableau per row — so a disjoint enumeration
+		// (a BasisCache revival whose new stack shares no prefix, or a DFS
+		// jump to an unrelated subtree) is strictly cheaper as a cold
+		// start: wipe the tableau wholesale and install only the desired
+		// rows.
+		ic.wp.Reset(len(ic.scope))
+		ic.synced = ic.synced[:0]
+		for j := range ic.refs {
+			ic.refs[j] = 0
+		}
 	}
 	for len(ic.synced) > p {
 		top := ic.synced[len(ic.synced)-1]

@@ -45,12 +45,18 @@ func (d *Decomp) ToFNF() error {
 // structural change (the tree is rebuilt).
 func (d *Decomp) fnfStep() bool {
 	// Walk nodes in BFS order so parents are normalized before children.
+	// One scratch and one components buffer serve every node of the pass
+	// (and every restarted pass would reuse them too if it could; fnfStep
+	// returns on the first structural change, so per-pass reuse is what
+	// matters).
+	var sc hypergraph.CompScratch
+	var comps []hypergraph.VertexSet
 	queue := []int{d.Root}
 	for len(queue) > 0 {
 		r := queue[0]
 		queue = queue[1:]
 		br := d.Nodes[r].Bag
-		comps := d.H.ComponentsOf(br, nil)
+		comps = d.H.ComponentsOfWith(&sc, br, nil, comps[:0])
 		for _, s := range d.Nodes[r].Children {
 			bs := d.Nodes[s].Bag
 			// Condition 2 violation: child bag inside parent bag.

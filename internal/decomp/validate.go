@@ -299,9 +299,11 @@ func (d *Decomp) canAddToBag(u, v int) bool {
 //	(2) Bs ∩ Cr ≠ ∅;
 //	(3) B(γs) ∩ Br ⊆ Bs.
 func (d *Decomp) ValidateFNF() error {
+	var sc hypergraph.CompScratch
+	var comps []hypergraph.VertexSet
 	for r := range d.Nodes {
 		br := d.Nodes[r].Bag
-		comps := d.H.ComponentsOf(br, nil)
+		comps = d.H.ComponentsOfWith(&sc, br, nil, comps[:0])
 		for _, s := range d.Nodes[r].Children {
 			vts := d.SubtreeVertices(s)
 			bs := d.Nodes[s].Bag

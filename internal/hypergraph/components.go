@@ -16,19 +16,51 @@ import "math/bits"
 // is O(Σ_e |e| / 64) words touched instead of rescanning every edge per
 // frontier expansion.
 func (h *Hypergraph) ComponentsOf(c VertexSet, scope VertexSet) []VertexSet {
+	return h.ComponentsOfWith(&CompScratch{}, c, scope, nil)
+}
+
+// CompScratch holds the reusable working buffers of ComponentsOfWith —
+// the visited edge set, the BFS stack and the free-set workspace — so
+// repeated component computations (validation sweeps, FNF rounds)
+// allocate only the component sets they return. The zero value is ready
+// to use; a scratch must not be shared between concurrent calls.
+type CompScratch struct {
+	visited EdgeSet
+	stack   []int
+	free    VertexSet
+}
+
+// ComponentsOfWith is ComponentsOf with caller-owned scratch buffers,
+// appending the components to comps (which may be nil) and returning it.
+// The returned component sets are freshly allocated and independent of
+// the scratch.
+func (h *Hypergraph) ComponentsOfWith(sc *CompScratch, c VertexSet, scope VertexSet, comps []VertexSet) []VertexSet {
 	h.ensureIndex()
-	var free VertexSet
 	if scope == nil {
-		free = h.Vertices().DiffInPlace(c)
+		n := h.NumVertices()
+		if n == 0 {
+			return comps
+		}
+		sc.free = sc.free.grow((n - 1) / 64).Reset()
+		for w := 0; w < n/64; w++ {
+			sc.free[w] = ^uint64(0)
+		}
+		if r := n % 64; r != 0 {
+			sc.free[n/64] = (1 << uint(r)) - 1
+		}
+		sc.free = sc.free.DiffInPlace(c)
 	} else {
-		free = scope.Diff(c)
+		sc.free = sc.free.CopyFrom(scope).DiffInPlace(c)
 	}
+	free := sc.free
 	if free.IsEmpty() {
-		return nil
+		return comps
 	}
-	visited := NewEdgeSet(h.NumEdges())
-	stack := make([]int, 0, 64)
-	var comps []VertexSet
+	if m := h.NumEdges(); m > 0 {
+		sc.visited = EdgeSet(VertexSet(sc.visited).grow((m - 1) / 64))
+	}
+	visited := sc.visited.Reset()
+	stack := sc.stack
 	for {
 		start := free.First()
 		if start < 0 {
@@ -72,6 +104,7 @@ func (h *Hypergraph) ComponentsOf(c VertexSet, scope VertexSet) []VertexSet {
 		}
 		comps = append(comps, comp)
 	}
+	sc.stack = stack
 	return comps
 }
 

@@ -1,0 +1,312 @@
+package hypergraph
+
+import "math/bits"
+
+// dyncomp.go — incremental [bag]-components under a DFS-shaped bag stack.
+//
+// Every Check(·,k) oracle grows its guessed bag one atom at a time off a
+// shared λ stack, and the engine needs the [bag]-components of the
+// current subproblem component for every guess it actually tries.
+// Recomputing ComponentsOf from scratch per guess repeats almost all of
+// the previous BFS: pushing one more atom can only *split* existing
+// components (vertices leave the free region, never enter it), and
+// popping restores exactly the components the push destroyed.
+//
+// DynComponents maintains the components under Push/Pop of bag atoms the
+// way cover.Incremental maintains its LP rows: edits are O(1) recordings
+// into a desired stack, and the component partition is synced lazily at
+// the next Components call by rolling back to the longest common prefix
+// (an undo log of killed/added components makes each rollback O(1) per
+// layer) and then applying the new pushes. Applying one push re-runs the
+// component BFS only inside the components the pushed atom actually
+// intersects — the split is component-local, because an edge can have
+// free vertices in at most one component — so the work is proportional
+// to the region the push disturbs, not to the whole scope. Guesses that
+// are rejected before the engine asks for components (the overwhelming
+// majority: connector-coverage and progress checks fail first) cost two
+// slice edits and nothing else.
+//
+// Each component carries EdgeVerts = ⋃ {e ∈ E(H) : e ∩ C' ≠ ∅}, the
+// vertex set V(edges(C')) of the paper's connector definition,
+// accumulated for free during the BFS that builds the component: every
+// edge intersecting C' is absorbed exactly once. The engine reads child
+// connectors as EdgeVerts ∩ bag instead of re-walking the incidence
+// index per child.
+type DynComponents struct {
+	h     *Hypergraph
+	scope VertexSet // private copy; components partition scope \ ⋃pushed
+
+	desired []dynAtom  // the caller's current stack
+	applied []dynLayer // the pushes the partition currently expresses
+	based   bool       // base partition (no pushes) has been built
+
+	comps     []*DynComp // append-only within a layer; dead-marked, never reordered
+	undo      []int      // indices into comps of dead-marked records, layer framed
+	freeComps []*DynComp // recycled records
+
+	// BFS scratch. visited is kept all-zero between explodes via the
+	// touched word list, so clearing costs O(words actually used).
+	visited EdgeSet
+	touched []int
+	stack   []int
+	fbuf    VertexSet
+}
+
+// DynComp is one [bag]-component maintained by DynComponents.
+type DynComp struct {
+	// Verts is the component's vertex set.
+	Verts VertexSet
+	// EdgeVerts is V(edges(C')): the union of all edges intersecting the
+	// component. Connectors are EdgeVerts ∩ bag.
+	EdgeVerts VertexSet
+	dead      bool
+}
+
+// dynAtom is one pushed bag atom: the caller's key (used to detect
+// shared stack prefixes across syncs) and the atom's vertex set.
+type dynAtom struct {
+	key int
+	set VertexSet
+}
+
+// dynLayer records what applying one push did, for O(1) rollback:
+// nKilled components were dead-marked (their indices are the top nKilled
+// entries of the undo log) and nAdded fresh components were appended.
+type dynLayer struct {
+	key     int
+	set     VertexSet
+	nKilled int
+	nAdded  int
+}
+
+// NewDynComponents returns a structure maintaining the [bag]-components
+// of scope in h under Push/Pop of bag atoms.
+func NewDynComponents(h *Hypergraph, scope VertexSet) *DynComponents {
+	dc := &DynComponents{}
+	dc.Reset(h, scope)
+	return dc
+}
+
+// Reset re-targets dc to a new scope (and optionally a new hypergraph),
+// clearing the stack and recycling all component records. The base
+// partition is rebuilt lazily at the next Components call, so resetting
+// a structure that is never queried costs one scope copy.
+func (dc *DynComponents) Reset(h *Hypergraph, scope VertexSet) {
+	h.ensureIndex()
+	dc.h = h
+	dc.scope = dc.scope.CopyFrom(scope)
+	// Drop the atom-set references before truncating: structures are
+	// pooled across runs and must not pin a caller's retired sets.
+	for i := range dc.desired {
+		dc.desired[i].set = nil
+	}
+	for i := range dc.applied {
+		dc.applied[i].set = nil
+	}
+	dc.desired = dc.desired[:0]
+	dc.applied = dc.applied[:0]
+	dc.undo = dc.undo[:0]
+	dc.freeComps = append(dc.freeComps, dc.comps...)
+	dc.comps = dc.comps[:0]
+	dc.based = false
+	if m := h.NumEdges(); m > 0 {
+		dc.visited = EdgeSet(VertexSet(dc.visited).grow((m - 1) / 64))
+	}
+}
+
+// SeedBase installs the base partition directly after a Reset, skipping
+// the base BFS: the single component {scope} with EdgeVerts = seedEV
+// (copied). The caller asserts scope is itself connected — it was
+// produced as a component — and that seedEV = V(edges(scope)); the
+// engine hands down the parent component's record, so re-targeting to a
+// child subproblem costs word copies instead of a scope-wide BFS. Must
+// be called before any Push or Components on the fresh Reset.
+func (dc *DynComponents) SeedBase(seedEV VertexSet) {
+	dc.based = true
+	if dc.scope.IsEmpty() {
+		return
+	}
+	nc := dc.newComp()
+	nc.Verts = nc.Verts.CopyFrom(dc.scope)
+	nc.EdgeVerts = nc.EdgeVerts.CopyFrom(seedEV)
+	dc.comps = append(dc.comps, nc)
+}
+
+// Push stacks a bag atom under the given key. The set is retained by
+// reference and must stay unchanged while stacked; keys must be unique
+// within one stack (the oracles use stack-position indices). O(1) — the
+// partition is refined lazily at the next Components call.
+func (dc *DynComponents) Push(key int, set VertexSet) {
+	dc.desired = append(dc.desired, dynAtom{key: key, set: set})
+}
+
+// Pop unstacks the most recent atom. O(1).
+func (dc *DynComponents) Pop() {
+	dc.desired = dc.desired[:len(dc.desired)-1]
+}
+
+// Depth returns the current stack depth.
+func (dc *DynComponents) Depth() int { return len(dc.desired) }
+
+// Components appends the current components — the [⋃pushed]-components
+// of scope, exactly as ComponentsOf(⋃pushed, scope) returns them — to
+// buf and returns it. The records and their vertex sets are owned by dc:
+// they stay valid until a Pop below the stack depth at which they were
+// created is followed by another Components call, and must not be
+// modified. Order may differ from ComponentsOf.
+func (dc *DynComponents) Components(buf []*DynComp) []*DynComp {
+	dc.sync()
+	for _, c := range dc.comps {
+		if !c.dead {
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}
+
+// sync brings the partition in line with the desired stack: build the
+// base partition if needed, roll back applied layers past the common
+// prefix, then apply the missing pushes. Along a DFS the prefixes are
+// long, so the work is proportional to the stack movement since the
+// last query.
+func (dc *DynComponents) sync() {
+	if !dc.based {
+		dc.based = true
+		if !dc.scope.IsEmpty() {
+			dc.fbuf = dc.fbuf.CopyFrom(dc.scope)
+			dc.explode(dc.fbuf)
+		}
+	}
+	// Prefix matching compares the sets, not just the keys: key equality
+	// is the cheap first filter, the Equal confirms that a recycled key
+	// really carries the same atom (set identity is what makes reusing
+	// the layer sound).
+	p := 0
+	for p < len(dc.applied) && p < len(dc.desired) &&
+		dc.applied[p].key == dc.desired[p].key &&
+		dc.applied[p].set.Equal(dc.desired[p].set) {
+		p++
+	}
+	for len(dc.applied) > p {
+		dc.rollback()
+	}
+	for i := len(dc.applied); i < len(dc.desired); i++ {
+		dc.apply(dc.desired[i])
+	}
+}
+
+// rollback undoes the most recent applied layer: revive its dead-marked
+// components off the undo log and recycle the components it appended
+// (necessarily the current tail of comps, since layers are LIFO).
+func (dc *DynComponents) rollback() {
+	l := dc.applied[len(dc.applied)-1]
+	dc.applied = dc.applied[:len(dc.applied)-1]
+	for i := 0; i < l.nKilled; i++ {
+		dc.comps[dc.undo[len(dc.undo)-1]].dead = false
+		dc.undo = dc.undo[:len(dc.undo)-1]
+	}
+	for i := 0; i < l.nAdded; i++ {
+		dc.freeComps = append(dc.freeComps, dc.comps[len(dc.comps)-1])
+		dc.comps = dc.comps[:len(dc.comps)-1]
+	}
+}
+
+// apply refines the partition under one more pushed atom. Only
+// components intersecting the atom can change; each is dead-marked and
+// re-exploded within its own vertex region minus the atom.
+func (dc *DynComponents) apply(a dynAtom) {
+	l := dynLayer{key: a.key, set: a.set}
+	n := len(dc.comps) // examine only pre-existing components
+	for i := 0; i < n; i++ {
+		c := dc.comps[i]
+		if c.dead || !c.Verts.Intersects(a.set) {
+			continue
+		}
+		c.dead = true
+		dc.undo = append(dc.undo, i)
+		l.nKilled++
+		dc.fbuf = dc.fbuf.CopyFrom(c.Verts).DiffInPlace(a.set)
+		l.nAdded += dc.explode(dc.fbuf)
+	}
+	dc.applied = append(dc.applied, l)
+}
+
+// explode partitions the free set into [·]-components by the same
+// edge-driven BFS as ComponentsOf, appending one DynComp per component
+// and returning how many were appended. free is consumed.
+func (dc *DynComponents) explode(free VertexSet) int {
+	added := 0
+	nw := len(free)
+	for {
+		start := free.First()
+		if start < 0 {
+			break
+		}
+		nc := dc.newComp()
+		if nw > 0 {
+			nc.Verts = nc.Verts.grow(nw - 1)
+		}
+		nc.Verts.Add(start)
+		free.Remove(start)
+		dc.stack = append(dc.stack[:0], start)
+		for len(dc.stack) > 0 {
+			v := dc.stack[len(dc.stack)-1]
+			dc.stack = dc.stack[:len(dc.stack)-1]
+			if v >= len(dc.h.inc) {
+				continue
+			}
+			for wi, w := range dc.h.inc[v] {
+				w &^= dc.visited[wi]
+				if w == 0 {
+					continue
+				}
+				if dc.visited[wi] == 0 {
+					dc.touched = append(dc.touched, wi)
+				}
+				dc.visited[wi] |= w
+				for w != 0 {
+					ed := wi*64 + bits.TrailingZeros64(w)
+					w &= w - 1
+					es := dc.h.edges[ed]
+					nc.EdgeVerts = nc.EdgeVerts.UnionInPlace(es)
+					// Absorb the free part of ed into the component.
+					for i := 0; i < len(es) && i < len(free); i++ {
+						add := es[i] & free[i]
+						if add == 0 {
+							continue
+						}
+						free[i] &^= add
+						nc.Verts[i] |= add
+						for add != 0 {
+							dc.stack = append(dc.stack, i*64+bits.TrailingZeros64(add))
+							add &= add - 1
+						}
+					}
+				}
+			}
+		}
+		dc.comps = append(dc.comps, nc)
+		added++
+	}
+	// Restore the all-zero visited invariant in O(words touched). An edge
+	// is never incident to two components of one explode (it would merge
+	// them), so sharing visited across the loop above is sound.
+	for _, wi := range dc.touched {
+		dc.visited[wi] = 0
+	}
+	dc.touched = dc.touched[:0]
+	return added
+}
+
+// newComp returns a cleared component record, recycling retired ones.
+func (dc *DynComponents) newComp() *DynComp {
+	if n := len(dc.freeComps); n > 0 {
+		c := dc.freeComps[n-1]
+		dc.freeComps = dc.freeComps[:n-1]
+		c.Verts = c.Verts.Reset()
+		c.EdgeVerts = c.EdgeVerts.Reset()
+		c.dead = false
+		return c
+	}
+	return &DynComp{}
+}

@@ -1,0 +1,261 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// dynRandomH builds a random hypergraph with nv vertices and ne edges of
+// size ≤ rank (≥ 1), mirroring the generators of the engine tests.
+func dynRandomH(rng *rand.Rand, nv, ne, rank int) *Hypergraph {
+	h := New()
+	for v := 0; v < nv; v++ {
+		h.Vertex(fmt.Sprintf("v%d", v))
+	}
+	for e := 0; e < ne; e++ {
+		s := NewVertexSet(nv)
+		sz := 1 + rng.Intn(rank)
+		for j := 0; j < sz; j++ {
+			s.Add(rng.Intn(nv))
+		}
+		h.AddEdgeSet(fmt.Sprintf("e%d", e), s)
+	}
+	return h
+}
+
+// checkAgainstComponentsOf pins dc's current answer against a fresh
+// ComponentsOf over the same bag union, including the EdgeVerts
+// invariant EdgeVerts(C') = ⋃{e : e ∩ C' ≠ ∅}.
+func checkAgainstComponentsOf(t *testing.T, h *Hypergraph, dc *DynComponents, scope VertexSet, atoms []VertexSet) {
+	t.Helper()
+	bag := NewVertexSet(h.NumVertices())
+	for _, a := range atoms {
+		bag = bag.UnionInPlace(a)
+	}
+	want := h.ComponentsOf(bag, scope)
+	got := dc.Components(nil)
+	if len(got) != len(want) {
+		t.Fatalf("component count: dyn %d, ComponentsOf %d (|atoms|=%d)", len(got), len(want), len(atoms))
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].First() < want[j].First() })
+	sort.Slice(got, func(i, j int) bool { return got[i].Verts.First() < got[j].Verts.First() })
+	ebuf := NewEdgeSet(h.NumEdges())
+	for i := range want {
+		if !got[i].Verts.Equal(want[i]) {
+			t.Fatalf("component %d: dyn %v, ComponentsOf %v", i, got[i].Verts.Vertices(), want[i].Vertices())
+		}
+		ev := NewVertexSet(h.NumVertices())
+		h.EdgesIntersectingSet(want[i], ebuf).ForEach(func(e int) bool {
+			ev = ev.UnionInPlace(h.Edge(e))
+			return true
+		})
+		if !got[i].EdgeVerts.Equal(ev) {
+			t.Fatalf("component %d EdgeVerts: dyn %v, want %v", i, got[i].EdgeVerts.Vertices(), ev.Vertices())
+		}
+	}
+}
+
+// TestDynComponentsRandomScripts drives random push/pop scripts over
+// random hypergraphs and random scopes, comparing against ComponentsOf
+// after every operation.
+func TestDynComponentsRandomScripts(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	dc := &DynComponents{} // one structure Reset across cases, as the engine reuses them
+	for cse := 0; cse < 60; cse++ {
+		nv := 2 + rng.Intn(12)
+		h := dynRandomH(rng, nv, 1+rng.Intn(14), 1+rng.Intn(4))
+		scope := NewVertexSet(nv)
+		for v := 0; v < nv; v++ {
+			if rng.Intn(4) > 0 {
+				scope.Add(v)
+			}
+		}
+		dc.Reset(h, scope)
+		var atoms []VertexSet
+		for op := 0; op < 24; op++ {
+			switch {
+			case len(atoms) > 0 && rng.Intn(3) == 0:
+				atoms = atoms[:len(atoms)-1]
+				dc.Pop()
+			default:
+				var a VertexSet
+				if rng.Intn(2) == 0 && h.NumEdges() > 0 {
+					a = h.Edge(rng.Intn(h.NumEdges())) // HD-style: a full edge
+				} else {
+					a = NewVertexSet(nv) // GHD/FHD-style: a scoped atom
+					for j := 0; j <= rng.Intn(3); j++ {
+						a.Add(rng.Intn(nv))
+					}
+					a = a.IntersectInPlace(scope)
+				}
+				dc.Push(len(atoms)+100*cse, a)
+				atoms = append(atoms, a)
+			}
+			if rng.Intn(2) == 0 { // queries interleave with silent edits
+				checkAgainstComponentsOf(t, h, dc, scope, atoms)
+			}
+		}
+		checkAgainstComponentsOf(t, h, dc, scope, atoms)
+	}
+}
+
+// TestDynComponentsDeepRollback pops all the way back down after a deep
+// stack and pins that the base partition is restored intact.
+func TestDynComponentsDeepRollback(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := dynRandomH(rng, 14, 16, 4)
+	scope := h.Vertices()
+	dc := NewDynComponents(h, scope)
+	base := dc.Components(nil)
+	var atoms []VertexSet
+	for i := 0; i < h.NumEdges(); i++ {
+		dc.Push(i, h.Edge(i))
+		atoms = append(atoms, h.Edge(i))
+		checkAgainstComponentsOf(t, h, dc, scope, atoms)
+	}
+	for len(atoms) > 0 {
+		dc.Pop()
+		atoms = atoms[:len(atoms)-1]
+		checkAgainstComponentsOf(t, h, dc, scope, atoms)
+	}
+	again := dc.Components(nil)
+	if len(again) != len(base) {
+		t.Fatalf("base partition not restored: %d components, was %d", len(again), len(base))
+	}
+}
+
+// TestDynComponentsSteadyStateAllocs pins that replaying a push/query/pop
+// cycle on a warmed structure allocates nothing: records, undo frames and
+// BFS scratch are all recycled.
+func TestDynComponentsSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := dynRandomH(rng, 24, 20, 4)
+	scope := h.Vertices()
+	dc := NewDynComponents(h, scope)
+	buf := make([]*DynComp, 0, 64)
+	cycle := func() {
+		for i := 0; i < 6; i++ {
+			dc.Push(i, h.Edge(i))
+			buf = dc.Components(buf[:0])
+		}
+		for i := 0; i < 6; i++ {
+			dc.Pop()
+		}
+		buf = dc.Components(buf[:0])
+	}
+	cycle() // warm every buffer
+	if n := testing.AllocsPerRun(20, cycle); n > 0 {
+		t.Fatalf("steady-state cycle allocates %.1f times, want 0", n)
+	}
+}
+
+// FuzzDynComponents feeds byte-derived hypergraphs and push/pop scripts
+// through the differential check. Run under -race in CI.
+func FuzzDynComponents(f *testing.F) {
+	f.Add([]byte{5, 4, 1, 2, 3, 0, 7, 1})
+	f.Add([]byte{9, 9, 0xff, 0x0f, 0xf0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		nv := 1 + int(data[0]%12)
+		ne := 1 + int(data[1]%10)
+		h := New()
+		for v := 0; v < nv; v++ {
+			h.Vertex(fmt.Sprintf("v%d", v))
+		}
+		pos := 2
+		next := func() byte {
+			if pos >= len(data) {
+				pos = 2
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		for e := 0; e < ne; e++ {
+			s := NewVertexSet(nv)
+			for j := 0; j < 3; j++ {
+				s.Add(int(next()) % nv)
+			}
+			h.AddEdgeSet(fmt.Sprintf("e%d", e), s)
+		}
+		scope := h.Vertices()
+		dc := NewDynComponents(h, scope)
+		var atoms []VertexSet
+		for op := 0; op < 16 && pos < len(data); op++ {
+			b := next()
+			if b%4 == 0 && len(atoms) > 0 {
+				atoms = atoms[:len(atoms)-1]
+				dc.Pop()
+			} else {
+				a := h.Edge(int(b) % ne)
+				dc.Push(op, a)
+				atoms = append(atoms, a)
+			}
+			checkAgainstComponentsOf(t, h, dc, scope, atoms)
+		}
+	})
+}
+
+// TestDynComponentsSeedBase pins the engine's parent-seeding shortcut:
+// re-targeting to a component the parent already discovered, with
+// SeedBase installing the parent's record in place of the base BFS, must
+// behave exactly like a fresh Reset that rebuilds the base itself. Every
+// component of a random partition is replayed as a child scope under a
+// random push script, differentially against ComponentsOf.
+func TestDynComponentsSeedBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seeded, plain := &DynComponents{}, &DynComponents{}
+	ebuf := NewEdgeSet(0)
+	cases := 0
+	for cse := 0; cse < 40; cse++ {
+		nv := 3 + rng.Intn(12)
+		h := dynRandomH(rng, nv, 2+rng.Intn(14), 1+rng.Intn(4))
+		bag := NewVertexSet(nv)
+		for j := 0; j <= rng.Intn(4); j++ {
+			bag.Add(rng.Intn(nv))
+		}
+		for _, comp := range h.ComponentsOf(bag, h.Vertices()) {
+			// The parent's EdgeVerts for comp: V(edges(comp)).
+			ev := NewVertexSet(nv)
+			ebuf = EdgeSet(VertexSet(ebuf).Reset())
+			h.EdgesIntersectingSet(comp, ebuf).ForEach(func(e int) bool {
+				ev = ev.UnionInPlace(h.Edge(e))
+				return true
+			})
+			seeded.Reset(h, comp)
+			seeded.SeedBase(ev)
+			plain.Reset(h, comp)
+			cases++
+			var atoms []VertexSet
+			for op := 0; op < 10; op++ {
+				if len(atoms) > 0 && rng.Intn(3) == 0 {
+					atoms = atoms[:len(atoms)-1]
+					seeded.Pop()
+					plain.Pop()
+				} else {
+					a := NewVertexSet(nv)
+					for j := 0; j <= rng.Intn(3); j++ {
+						a.Add(rng.Intn(nv))
+					}
+					a = a.IntersectInPlace(ev) // engine atoms are scoped near the component
+					seeded.Push(op, a)
+					plain.Push(op, a)
+					atoms = append(atoms, a)
+				}
+				if rng.Intn(2) == 0 {
+					checkAgainstComponentsOf(t, h, seeded, comp, atoms)
+					checkAgainstComponentsOf(t, h, plain, comp, atoms)
+				}
+			}
+			checkAgainstComponentsOf(t, h, seeded, comp, atoms)
+			checkAgainstComponentsOf(t, h, plain, comp, atoms)
+		}
+	}
+	if cases < 40 {
+		t.Fatalf("only %d component cases were exercised; loosen the generator", cases)
+	}
+}

@@ -612,3 +612,25 @@ func (w *WarmProblem) RowDual(id int) *big.Rat {
 	}
 	return w.cost[r.slack]
 }
+
+// ApproxBytes is a flat estimate of the memory w retains, for cache
+// budgeting: every held rat is charged a fixed ~48 bytes (numerator and
+// denominator words of the small rationals the covering LPs produce,
+// plus headers) and the integer bookkeeping 8 per slot. Eviction only
+// needs a consistent order of magnitude, not exactness.
+func (w *WarmProblem) ApproxBytes() int64 {
+	const ratBytes = 48
+	n := len(w.obj) + len(w.rhs) + len(w.cost) + 1
+	for _, r := range w.rows {
+		n += len(r.coef) + 1
+	}
+	for _, row := range w.mat {
+		n += len(row)
+	}
+	for _, row := range w.matPool {
+		n += len(row)
+	}
+	b := int64(n) * ratBytes
+	b += int64(len(w.basis)+len(w.colRow)+len(w.freeCols)+2*len(w.rows)) * 8
+	return b
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hypertree/internal/core"
+	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/lp"
@@ -259,9 +260,17 @@ func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int)
 // levels that accept on original-edge atoms never pay for a closure.
 // The lazily interned pool dies with each level's engine; nothing of it
 // reaches the result cache, whose sizing still sees only witnesses.
+//
+// Since PR 6 the levels share one warm-basis cache: the cover LP is
+// k-independent (k only thresholds the optimum), so level k+1 seeds its
+// per-scope solves from the bases level k retired. The cache must not
+// outlive the deepening loop — it is keyed on this hypergraph's
+// positional vertex numbering and the strategy goroutines each own
+// their loop, so sharing wider would race.
 func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int) {
+	basis := cover.NewBasisCache(0)
 	for k := r.snapshotLower(); k <= maxK; k++ {
-		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), core.FHDOptions{})
+		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), core.FHDOptions{Basis: basis})
 		if err != nil {
 			return // context done or closure cap exceeded
 		}
