@@ -37,14 +37,23 @@ type benchRecord struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// benchSchema versions the BENCH_*.json document layout. Version 1 is
+// the original (implicit, field absent); version 2 adds the schema
+// field itself and the GOMAXPROCS/NumCPU host metadata. Readers treat
+// an absent field as 1, so committed version-1 records stay readable.
+const benchSchema = 2
+
 // benchDocument is the schema of a BENCH_*.json file.
 type benchDocument struct {
-	GitRev    string        `json:"git_rev"`
-	Date      string        `json:"date"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Records   []benchRecord `json:"records"`
+	Schema     int           `json:"schema,omitempty"`
+	GitRev     string        `json:"git_rev"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs,omitempty"`
+	NumCPU     int           `json:"num_cpu,omitempty"`
+	Records    []benchRecord `json:"records"`
 }
 
 // jsonBenchSet returns the named engine benchmarks measured by -json.
@@ -138,11 +147,14 @@ func gitRev() string {
 // document to path.
 func runJSONBench(path string) error {
 	doc := benchDocument{
-		GitRev:    gitRev(),
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Schema:     benchSchema,
+		GitRev:     gitRev(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	for _, bm := range jsonBenchSet() {
 		fmt.Fprintf(os.Stderr, "bench %-24s ", bm.name)

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchDocumentBackCompat pins that the committed version-1 record
+// (written before the schema field and host metadata existed) still
+// decodes into the current benchDocument: the new fields are additive,
+// an absent schema reads as 0 (meaning version 1), and the measurement
+// rows survive intact.
+func TestBenchDocumentBackCompat(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_0006.json")
+	if err != nil {
+		t.Skipf("no committed bench record: %v", err)
+	}
+	var doc benchDocument
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_0006.json no longer decodes: %v", err)
+	}
+	if doc.Schema > benchSchema {
+		t.Fatalf("committed record claims schema %d > current %d", doc.Schema, benchSchema)
+	}
+	if len(doc.Records) == 0 || doc.GoVersion == "" {
+		t.Fatalf("committed record lost its content: %+v", doc)
+	}
+	for _, r := range doc.Records {
+		if r.Name == "" || r.Iterations <= 0 {
+			t.Fatalf("malformed record row: %+v", r)
+		}
+	}
+}

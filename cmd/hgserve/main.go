@@ -24,7 +24,16 @@
 //	                 → an NDJSON stream: one "result" (or "error") line
 //	                 per instance as it finishes, a "progress" line
 //	                 after each, and a final "done" line.
-//	GET  /healthz    liveness plus serving/cache/batch statistics.
+//	GET  /healthz    liveness plus serving/cache/batch statistics and
+//	                 the process-wide solve telemetry aggregate.
+//	GET  /metrics    Prometheus text exposition of every registered
+//	                 counter/gauge/histogram (see OBSERVABILITY.md).
+//
+// /width and /decompose accept a ?trace=1 query flag that embeds the
+// request's solve trace (strategy timeline, deepening steps, engine and
+// cache counters) in the response. -access-log writes one structured
+// JSON line per solved request to stderr, with the trace summary; -pprof
+// mounts net/http/pprof under /debug/pprof/.
 //
 // At most -workers solves run concurrently (GOMAXPROCS by default); up
 // to -queue further requests wait for a slot, and anything beyond that
@@ -49,6 +58,7 @@ import (
 
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/solve"
+	"hypertree/internal/telemetry"
 )
 
 func main() {
@@ -59,9 +69,13 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", solve.DefaultCacheBytes, "approximate result cache byte budget (0 = default)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request budget")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "hard cap on client-chosen budgets")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	accessLog := flag.Bool("access-log", false, "write one structured JSON line per solved request to stderr")
 	flag.Parse()
 
 	s := newServer(*workers, *queue, *cacheSize, *cacheBytes, *timeout, *maxTimeout)
+	s.accessLog = *accessLog
+	s.pprof = *pprof
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -96,6 +110,8 @@ type server struct {
 	timeout    time.Duration
 	maxTimeout time.Duration
 	started    time.Time
+	accessLog  bool
+	pprof      bool
 
 	admitted atomic.Int64 // running + waiting
 	served   atomic.Int64
@@ -139,6 +155,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /decompose", s.handleSolve(true))
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.pprof {
+		registerPprof(mux)
+	}
 	return mux
 }
 
@@ -175,6 +195,9 @@ type widthResponse struct {
 
 	Kind          string `json:"kind,omitempty"`
 	Decomposition string `json:"decomposition,omitempty"`
+
+	// Trace is the per-request solve trace, present under ?trace=1.
+	Trace *telemetry.Summary `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -237,7 +260,16 @@ func (s *server) handleSolve(withWitness bool) http.HandlerFunc {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 
-		res, err := s.solver.Solve(r.Context(), h, solve.Options{
+		// Trace when the client asked (?trace=1 embeds the summary in the
+		// response) or when the access log wants per-request summaries.
+		ctx := r.Context()
+		wantTrace := r.URL.Query().Get("trace") == "1"
+		var tr *telemetry.Trace
+		if wantTrace || s.accessLog {
+			ctx, tr = telemetry.WithTrace(ctx)
+		}
+
+		res, err := s.solver.Solve(ctx, h, solve.Options{
 			Measure:  measure,
 			Timeout:  budget,
 			Validate: withWitness,
@@ -265,6 +297,15 @@ func (s *server) handleSolve(withWitness bool) http.HandlerFunc {
 		}
 		if res.Upper != nil {
 			resp.Upper = res.Upper.RatString()
+		}
+		if tr != nil {
+			sum := tr.Summary()
+			if wantTrace {
+				resp.Trace = sum
+			}
+			if s.accessLog {
+				s.logAccess(r, measure.String(), res, sum)
+			}
 		}
 		if withWitness {
 			if res.Witness == nil {
@@ -301,6 +342,10 @@ type healthzResponse struct {
 	BatchInflight int64             `json:"batch_inflight"`
 	BatchQueued   int64             `json:"batch_queued"`
 	Cache         *solve.CacheStats `json:"cache,omitempty"`
+	// Telemetry is the process-wide solve aggregate: strategy wins,
+	// engine memo/DynComponents counters, warm-LP path mix and the
+	// basis- and result-cache totals (see OBSERVABILITY.md).
+	Telemetry solve.Snapshot `json:"telemetry"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -313,6 +358,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Rejected:      s.rejected.Load(),
 		BatchInflight: s.batchInflight.Load(),
 		BatchQueued:   s.batchQueued.Load(),
+		Telemetry:     solve.TelemetrySnapshot(),
 	}
 	if c := s.solver.Cache(); c != nil {
 		st := c.Stats()

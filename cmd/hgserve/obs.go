@@ -1,0 +1,113 @@
+package main
+
+// obs.go — the server's observability surface: GET /metrics (Prometheus
+// text exposition of the process-wide telemetry registry plus
+// server-local serving gauges), optional net/http/pprof mounting, and
+// the structured access log.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"hypertree/internal/solve"
+	"hypertree/internal/telemetry"
+)
+
+// handleMetrics renders every registered metric, then the server-local
+// serving state. The latter is written directly instead of through
+// registered gauges so test servers (several per process) never fight
+// over registration; the registry half is process-wide anyway.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.Default().WritePrometheus(w)
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("hg_server_uptime_seconds", "seconds since server start", int64(time.Since(s.started).Seconds()))
+	gauge("hg_server_workers", "solve worker pool size", int64(s.workers))
+	gauge("hg_server_inflight", "solves currently running", s.inflight.Load())
+	gauge("hg_server_served_total", "requests answered", s.served.Load())
+	gauge("hg_server_rejected_total", "requests shed by admission control", s.rejected.Load())
+	gauge("hg_server_batch_inflight", "batch requests currently streaming", s.batchInflight.Load())
+	if c := s.solver.Cache(); c != nil {
+		st := c.Stats()
+		gauge("hg_server_cache_entries", "result cache entries", int64(st.Size))
+		gauge("hg_server_cache_bytes", "approximate result cache bytes", st.Bytes)
+	}
+}
+
+// registerPprof mounts the standard profiling endpoints on mux. The
+// stdlib registers them on DefaultServeMux at import; this re-exposes
+// them on the server's own mux, gated behind -pprof.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// accessRecord is one structured access-log line: request identity,
+// solve outcome, and the trace summary boiled down to its counters and
+// per-strategy deepening trajectory.
+type accessRecord struct {
+	Time      string `json:"time"`
+	Route     string `json:"route"`
+	Remote    string `json:"remote"`
+	Measure   string `json:"measure"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	Cached    bool   `json:"cached,omitempty"`
+	Exact     bool   `json:"exact,omitempty"`
+	Partial   bool   `json:"partial,omitempty"`
+	Strategy  string `json:"strategy,omitempty"`
+	Lower     string `json:"lower,omitempty"`
+	Upper     string `json:"upper,omitempty"`
+
+	KTrajectory []int               `json:"k_trajectory,omitempty"`
+	Counters    *telemetry.Counters `json:"counters,omitempty"`
+	TraceMS     float64             `json:"trace_ms,omitempty"`
+	Events      int                 `json:"events,omitempty"`
+}
+
+// accessMu serializes access-log lines; handlers run concurrently and
+// interleaved JSON is useless.
+var accessMu sync.Mutex
+
+// logAccess writes one JSON line for a solved request to stderr.
+func (s *server) logAccess(r *http.Request, measure string, res *solve.Result, sum *telemetry.Summary) {
+	rec := accessRecord{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Route:     r.URL.Path,
+		Remote:    r.RemoteAddr,
+		Measure:   measure,
+		ElapsedMS: res.Elapsed.Milliseconds(),
+		Cached:    res.FromCache,
+		Exact:     res.Exact,
+		Partial:   res.Partial,
+		Strategy:  res.Strategy,
+	}
+	if res.Lower != nil {
+		rec.Lower = res.Lower.RatString()
+	}
+	if res.Upper != nil {
+		rec.Upper = res.Upper.RatString()
+	}
+	if sum != nil {
+		rec.KTrajectory = sum.KTrajectory("")
+		rec.Counters = &sum.Counters
+		rec.TraceMS = sum.ElapsedMS
+		rec.Events = len(sum.Events)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	accessMu.Lock()
+	defer accessMu.Unlock()
+	os.Stderr.Write(append(line, '\n'))
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// One solve so the counters are live.
+	if resp, _ := post(t, ts, "/width", widthRequest{Hypergraph: "e1(a,b), e2(b,c)", Measure: "hw"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE hg_solve_solves_total counter",
+		"hg_engine_runs_total",
+		"hg_solve_duration_seconds_bucket",
+		"hg_server_uptime_seconds",
+		"hg_server_cache_entries",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceQueryFlag(t *testing.T) {
+	ts := testServer(t)
+	// Untraced request: no trace in the response.
+	if _, wr := post(t, ts, "/width", widthRequest{Hypergraph: "e1(a,b,c), e2(c,d)", Measure: "hw"}); wr.Trace != nil {
+		t.Fatalf("untraced request carries a trace: %+v", wr.Trace)
+	}
+	// ?trace=1 embeds the solve trace (fresh instance so it computes).
+	resp, wr := post(t, ts, "/width?trace=1", widthRequest{Hypergraph: "e1(a,b), e2(b,c), e3(c,d)", Measure: "hw"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if wr.Trace == nil || len(wr.Trace.Events) == 0 {
+		t.Fatalf("no trace in response: %+v", wr)
+	}
+	var sawStrategy bool
+	for _, e := range wr.Trace.Events {
+		if e.Kind == "strategy_end" {
+			sawStrategy = true
+		}
+	}
+	if !sawStrategy {
+		t.Fatalf("trace lacks strategy events: %+v", wr.Trace.Events)
+	}
+	if wr.Trace.Counters.EngineSubproblems == 0 {
+		t.Fatalf("trace lacks engine counters: %+v", wr.Trace.Counters)
+	}
+}
+
+func TestHealthzTelemetry(t *testing.T) {
+	ts := testServer(t)
+	if resp, _ := post(t, ts, "/width", widthRequest{Hypergraph: "e1(a,b), e2(b,c)", Measure: "fhw"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	// The telemetry counters are process-wide: every test solve in this
+	// binary feeds them, so after the solve above they cannot be zero.
+	if hr.Telemetry.Solves == 0 || hr.Telemetry.Engine.Subproblems == 0 {
+		t.Fatalf("healthz telemetry empty: %+v", hr.Telemetry)
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	// Off by default.
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without -pprof")
+	}
+	// Mounted behind the flag.
+	s := newServer(2, 8, 128, 0, 5*time.Second, 10*time.Second)
+	s.pprof = true
+	ts2 := httptest.NewServer(s.routes())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d", resp2.StatusCode)
+	}
+}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	hgwidth [-measures hw,ghw,fhw] [-timeout 30s] [-no-preprocess]
-//	        [-exact] [-heuristic] [-check k] [-show] [-gml] [file]
+//	        [-exact] [-heuristic] [-check k] [-show] [-gml] [-stats] [file]
 //
 // The hypergraph is read from the file (or stdin) in any
 // corpus-supported format, auto-detected: the edge-list format
@@ -39,6 +39,7 @@ import (
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/solve"
+	"hypertree/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 	check := flag.String("check", "", "width k (integer or rational p/q) to run the Check procedures at")
 	show := flag.Bool("show", false, "print the decompositions found")
 	gml := flag.Bool("gml", false, "print decompositions as GML instead of text")
+	stats := flag.Bool("stats", false, "print the per-measure solve trace (strategy timeline, engine/LP/cache counters)")
 	flag.Parse()
 	gmlMode = *gml
 
@@ -84,7 +86,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		r, err := solve.Solve(ctx, h, solve.Options{
+		sctx, tr := ctx, (*telemetry.Trace)(nil)
+		if *stats {
+			sctx, tr = telemetry.WithTrace(ctx)
+		}
+		r, err := solve.Solve(sctx, h, solve.Options{
 			Measure:      m,
 			Timeout:      *timeout,
 			NoPreprocess: *noPre,
@@ -93,6 +99,9 @@ func main() {
 			fatal(err)
 		}
 		printResult(m, r)
+		if tr != nil {
+			tr.Summary().WriteText(os.Stdout)
+		}
 		maybeShow(*show, strings.ToUpper(m.Kind().String()), r.Witness)
 		interrupted = interrupted || (r.Partial && ctx.Err() != nil)
 	}

@@ -49,11 +49,19 @@ func recoverCanceled(ctx context.Context, err *error) {
 // the deadline expires or the context is canceled mid-search, and
 // otherwise behaves exactly like CheckHD.
 func CheckHDCtx(ctx context.Context, h *hypergraph.Hypergraph, k int) (d *decomp.Decomp, err error) {
+	return CheckHDStatsCtx(ctx, h, k, nil)
+}
+
+// CheckHDStatsCtx is CheckHDCtx with an optional engine-stats sink:
+// when stats is non-nil the run's counters are added to it on return
+// (including cancelled returns — the deferred flush runs during
+// unwinding). Traced solves use this; pass nil otherwise.
+func CheckHDStatsCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, stats *EngineStats) (d *decomp.Decomp, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	defer recoverCanceled(ctx, &err)
-	d = checkHD(h, k, ctx.Done())
+	d = checkHD(h, k, ctx.Done(), stats)
 	return d, nil
 }
 

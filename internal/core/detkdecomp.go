@@ -145,16 +145,18 @@ func (o *hdOracle) check(e *engine, c, w hypergraph.VertexSet, lambda []int, try
 // (component, connector) subproblems; it runs in polynomial time for
 // fixed k.
 func CheckHD(h *hypergraph.Hypergraph, k int) *decomp.Decomp {
-	return checkHD(h, k, nil)
+	return checkHD(h, k, nil, nil)
 }
 
-// checkHD is CheckHD with an optional cancellation channel; see
-// CheckHDCtx in cancel.go for the context-aware entry point.
-func checkHD(h *hypergraph.Hypergraph, k int, done <-chan struct{}) *decomp.Decomp {
+// checkHD is CheckHD with an optional cancellation channel and stats
+// sink; see CheckHDCtx and CheckHDStatsCtx in cancel.go for the
+// context-aware entry points.
+func checkHD(h *hypergraph.Hypergraph, k int, done <-chan struct{}, sink *EngineStats) *decomp.Decomp {
 	if k <= 0 || h.NumEdges() == 0 {
 		return nil
 	}
 	e := newEngine(h, newHDOracle(h, k), false, done)
+	e.sink = sink
 	defer e.finish()
 	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if !ok {

@@ -160,6 +160,12 @@ type engine struct {
 	bagBufs  []hypergraph.VertexSet
 	childBuf []engineKey
 	compBuf  []*hypergraph.DynComp
+
+	// Run counters, accumulated as plain ints (no atomics on the hot
+	// path) and flushed once in finish() — to the process-wide telemetry
+	// counters and, when the caller threaded one through, to sink.
+	stats EngineStats
+	sink  *EngineStats
 }
 
 func newEngine(h *hypergraph.Hypergraph, o coverOracle, trim bool, done <-chan struct{}) *engine {
@@ -211,8 +217,10 @@ func (e *engine) getDyn(c, seedEV hypergraph.VertexSet) *hypergraph.DynComponent
 		dc = dynPool.Get().(*hypergraph.DynComponents)
 	}
 	dc.Reset(e.h, c)
+	e.stats.DynResets++
 	if seedEV != nil {
 		dc.SeedBase(seedEV)
+		e.stats.DynSeeded++
 	}
 	return dc
 }
@@ -225,6 +233,7 @@ func (e *engine) finish() {
 		dynPool.Put(dc)
 	}
 	e.dynFree = e.dynFree[:0]
+	e.flushStats()
 }
 
 // poll checks for cancellation every pollMask+1 calls. Oracles call it
@@ -256,6 +265,7 @@ func (e *engine) decompose(c hypergraph.VertexSet, st engineState) (engineKey, b
 		st.b = b
 	}
 	if n, done := e.memo[key]; done {
+		e.stats.MemoHits++
 		return key, n != nil
 	}
 	var prevDyn *hypergraph.DynComponents
@@ -287,6 +297,7 @@ func (e *engine) decompose(c hypergraph.VertexSet, st engineState) (engineKey, b
 		e.dyn = prevDyn
 	}
 	e.memo[key] = node
+	e.stats.Subproblems++
 	return key, node != nil
 }
 

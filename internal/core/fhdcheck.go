@@ -36,6 +36,11 @@ type FHDOptions struct {
 	// the run uses a private cache. A BasisCache is not safe for
 	// concurrent use — do not share across parallel strategies.
 	Basis *cover.BasisCache
+	// Stats, when non-nil, receives the engine's run counters on
+	// completion (added, so one sink can accumulate across deepening
+	// levels). Leave nil when not tracing: the nil path adds nothing to
+	// the run.
+	Stats *EngineStats
 }
 
 // fhdAtom is one candidate bag contribution for the FHD oracle: a
@@ -398,7 +403,7 @@ func checkFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions, done <-chan 
 	if opt.Subedges != nil {
 		aug = Augment(h, opt.Subedges)
 	}
-	dec, err := runFHD(h, aug, k, maxSupport, max, opt.Basis, done)
+	dec, err := runFHD(h, aug, k, maxSupport, max, opt.Basis, opt.Stats, done)
 	if err == nil || aug != nil {
 		return dec, err
 	}
@@ -409,14 +414,15 @@ func checkFHD(h *hypergraph.Hypergraph, k *big.Rat, opt FHDOptions, done <-chan 
 	if herr != nil {
 		return nil, herr
 	}
-	return runFHD(h, Augment(h, subs), k, maxSupport, max, opt.Basis, done)
+	return runFHD(h, Augment(h, subs), k, maxSupport, max, opt.Basis, opt.Stats, done)
 }
 
 // runFHD runs the engine once over a fixed candidate source (lazy f⁺
 // when aug is nil, the augmented pool otherwise).
-func runFHD(h *hypergraph.Hypergraph, aug *Augmented, k *big.Rat, maxSupport, maxSets int, basis *cover.BasisCache, done <-chan struct{}) (*decomp.Decomp, error) {
+func runFHD(h *hypergraph.Hypergraph, aug *Augmented, k *big.Rat, maxSupport, maxSets int, basis *cover.BasisCache, sink *EngineStats, done <-chan struct{}) (*decomp.Decomp, error) {
 	o := newFHDOracle(h, aug, k, maxSupport, maxSets, basis)
 	e := newEngine(h, o, false, done)
+	e.sink = sink
 	defer e.finish()
 	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if o.err != nil {

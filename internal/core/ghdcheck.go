@@ -14,6 +14,10 @@ type Options struct {
 	// MaxSubedges caps the number of distinct subedges the lazy
 	// generator may intern over the whole run (0 = library default).
 	MaxSubedges int
+	// Stats, when non-nil, receives the engine's run counters on
+	// completion (added, so one sink can accumulate across deepening
+	// levels). Leave nil when not tracing.
+	Stats *EngineStats
 }
 
 const defaultMaxSubedges = 2_000_000
@@ -343,6 +347,7 @@ func checkGHD(h *hypergraph.Hypergraph, k int, opt Options, exact bool, done <-c
 	}
 	o := newGHDOracle(h, k, exact, max)
 	e := newEngine(h, o, false, done)
+	e.sink = opt.Stats
 	defer e.finish()
 	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if o.err != nil {

@@ -114,6 +114,15 @@ func TestRunGolden(t *testing.T) {
 	if !strings.Contains(report.Table(), "30 instances: 30 exact") {
 		t.Fatalf("table summary wrong:\n%s", report.Table())
 	}
+	// Every computed (non-cached) record carries its telemetry snapshot
+	// — at minimum the result-cache miss that triggered the compute. On
+	// instances this small the exact DP usually wins before the racing
+	// deepeners flush engine counters, so only their presence is pinned.
+	for _, r := range logged {
+		if r.Err == "" && !r.Cached && r.Telemetry == nil {
+			t.Fatalf("computed record %q lacks telemetry", r.Name)
+		}
+	}
 }
 
 // TestRunResume pins the resume semantics: a partial results log makes

@@ -32,6 +32,10 @@
 // (BIP, Definition 4.1), 3-multi-intersection width (BMIP, Definition
 // 4.2) and degree (BDP, Definition 4.13) — so a finished run doubles as
 // a HyperBench-style structural study (see Report and CompareGolden).
+// Computed records additionally carry the solve's telemetry — the
+// winning strategy's k-trajectory and the engine/LP/cache counter
+// snapshot (OBSERVABILITY.md) — as optional fields old logs lack and
+// resume ignores.
 //
 // cmd/hgcorpus drives the runner from the command line; cmd/hgserve
 // reuses RunLoaded for its streaming /batch endpoint.

@@ -11,6 +11,7 @@ import (
 
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/solve"
+	"hypertree/internal/telemetry"
 )
 
 // Classes records where an instance falls relative to the paper's
@@ -69,6 +70,13 @@ type InstanceResult struct {
 	ElapsedMS   int64   `json:"elapsed_ms"`
 	Err         string  `json:"error,omitempty"`
 	Classes     Classes `json:"classes"`
+	// KTrajectory is the winning strategy's iterative-deepening levels
+	// and Telemetry the solve's counter snapshot (engine/LP/cache work
+	// this instance incurred), both from the per-request trace. Absent
+	// on cached, resumed and pre-telemetry log lines; resume ignores
+	// them, so old logs stay readable.
+	KTrajectory []int               `json:"k_trajectory,omitempty"`
+	Telemetry   *telemetry.Counters `json:"telemetry,omitempty"`
 	// Resumed marks a result carried over from a previous run's log
 	// rather than recomputed. Never serialized: resumed results are
 	// already in the log.
@@ -195,8 +203,9 @@ func solveOne(ctx context.Context, solver *solve.Solver, it Loaded, opt RunOptio
 	r.Vertices = h.NumVertices()
 	r.Edges = h.NumEdges()
 	r.Classes = Classify(h)
+	sctx, tr := telemetry.WithTrace(ctx)
 	start := time.Now()
-	res, err := solver.Solve(ctx, h, solve.Options{Measure: opt.Measure, Timeout: opt.Timeout})
+	res, err := solver.Solve(sctx, h, solve.Options{Measure: opt.Measure, Timeout: opt.Timeout})
 	r.ElapsedMS = time.Since(start).Milliseconds()
 	if err != nil {
 		r.Err = err.Error()
@@ -211,6 +220,12 @@ func solveOne(ctx context.Context, solver *solve.Solver, it Loaded, opt RunOptio
 	r.Cached = res.FromCache
 	r.Strategy = res.Strategy
 	r.Blocks = res.Pre.Blocks
+	if sum := tr.Summary(); !res.FromCache {
+		r.KTrajectory = sum.KTrajectory(res.Strategy)
+		if c := sum.Counters; c != (telemetry.Counters{}) {
+			r.Telemetry = &c
+		}
+	}
 	return r
 }
 

@@ -23,7 +23,10 @@ package cover
 // the process's overall cache memory envelope. A BasisCache is NOT safe
 // for concurrent use; share one only within a single deepening loop.
 
-import "hypertree/internal/hypergraph"
+import (
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
 
 // DefaultBasisCacheBytes bounds a BasisCache constructed with
 // NewBasisCache(0): 16 MiB, an eighth of solve.DefaultCacheBytes.
@@ -129,4 +132,23 @@ func (bc *BasisCache) Stats() BasisCacheStats {
 	s := bc.stats
 	s.Bytes = bc.bytes
 	return s
+}
+
+// WarmStats sums the LP engine counters over every solver the cache
+// retains — warm slots plus the cold free list. Solvers are never
+// dropped (Put routes displaced and evicted ones to the free list, and
+// WarmProblem.Reset preserves its stats), so after all borrowed solvers
+// are Put back this is the cumulative warm-path mix of every Solve the
+// cache's solvers ran.
+func (bc *BasisCache) WarmStats() lp.WarmStats {
+	var ws lp.WarmStats
+	for i := range bc.slots {
+		if ic := bc.slots[i].ic; ic != nil {
+			ws.Add(ic.Stats())
+		}
+	}
+	for _, ic := range bc.free {
+		ws.Add(ic.Stats())
+	}
+	return ws
 }

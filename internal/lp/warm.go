@@ -38,13 +38,36 @@ import (
 )
 
 // WarmStats counts what the incremental engine actually did, so tests
-// and benchmarks can pin that warm re-solves take the warm path.
+// and benchmarks can pin that warm re-solves take the warm path, and so
+// the telemetry layer can report the per-request warm-path mix. The
+// warm solves are further classified by the re-solve path taken to
+// completion: NoopSolves (basis still optimal), PrimalSolves (primal
+// feasible, primal simplex re-optimization), DualSolves (dual feasible,
+// dual simplex back to primal feasibility). A warm dual attempt that
+// trips its pivot cap falls back cold and is counted in ColdStarts, not
+// DualSolves, so ColdStarts + NoopSolves + PrimalSolves + DualSolves ==
+// Solves.
 type WarmStats struct {
 	Solves       int // Solve calls
 	ColdStarts   int // solves that rebuilt the tableau from the slack basis
 	WarmSolves   int // solves resumed from the previous basis
+	NoopSolves   int // warm solves whose basis was already optimal
+	PrimalSolves int // warm solves finished by the primal simplex
+	DualSolves   int // warm solves finished by the dual simplex
 	PrimalPivots int
 	DualPivots   int
+}
+
+// Add accumulates o into s (for aggregating stats across solvers).
+func (s *WarmStats) Add(o WarmStats) {
+	s.Solves += o.Solves
+	s.ColdStarts += o.ColdStarts
+	s.WarmSolves += o.WarmSolves
+	s.NoopSolves += o.NoopSolves
+	s.PrimalSolves += o.PrimalSolves
+	s.DualSolves += o.DualSolves
+	s.PrimalPivots += o.PrimalPivots
+	s.DualPivots += o.DualPivots
 }
 
 // warmRow is one live constraint: the raw coefficients (kept for cold
@@ -565,12 +588,15 @@ func (w *WarmProblem) Solve() (Status, error) {
 			return w.finishPrimal()
 		}
 		// Dual simplex preserves cost ≥ 0, so the tableau is optimal.
+		w.stats.DualSolves++
 		return Optimal, nil
 	case negCost:
 		w.stats.WarmSolves++
+		w.stats.PrimalSolves++
 		return w.finishPrimal()
 	default:
 		w.stats.WarmSolves++
+		w.stats.NoopSolves++
 		return Optimal, nil
 	}
 }

@@ -1,0 +1,160 @@
+package solve
+
+// metrics.go — the solve pipeline's process-wide telemetry and the glue
+// that folds per-loop aggregates (engine stats sinks, retired basis
+// caches) into both the global counters and the per-request trace.
+//
+// The global counters are registered once at package init on
+// telemetry.Default() and updated with a handful of atomic adds per
+// Solve — never per subproblem — so the hot path stays allocation-
+// identical to the uninstrumented pipeline (pinned by
+// TestSolveUntracedAllocs). Per-request exactness comes from sinks
+// allocated only when the request carries a Trace.
+
+import (
+	"hypertree/internal/core"
+	"hypertree/internal/cover"
+	"hypertree/internal/telemetry"
+)
+
+var (
+	mSolves = telemetry.Default().NewCounter("hg_solve_solves_total",
+		"completed Solve calls (cache hits included)")
+	mPartial = telemetry.Default().NewCounter("hg_solve_partial_total",
+		"solves cut short by deadline or cancellation")
+	mWins = telemetry.Default().NewCounterVec("hg_solve_strategy_wins_total",
+		"winning portfolio strategy of the widest block, per computed solve", "strategy")
+	mDeepenSteps = telemetry.Default().NewCounterVec("hg_solve_deepen_steps_total",
+		"iterative-deepening levels attempted, per strategy", "strategy")
+	mSolveSeconds = telemetry.Default().NewHistogram("hg_solve_duration_seconds",
+		"wall time of completed Solve calls", nil)
+
+	mResultCacheHits = telemetry.Default().NewCounter("hg_result_cache_hits_total",
+		"solves answered from the result cache (singleflight reuse included)")
+	mResultCacheMisses = telemetry.Default().NewCounter("hg_result_cache_misses_total",
+		"cache-enabled solves that had to compute")
+
+	mBasisHits = telemetry.Default().NewCounter("hg_basis_cache_hits_total",
+		"cover-LP solvers revived with a warm basis")
+	mBasisMisses = telemetry.Default().NewCounter("hg_basis_cache_misses_total",
+		"cover-LP solver borrows answered cold")
+	mBasisEvictions = telemetry.Default().NewCounter("hg_basis_cache_evictions_total",
+		"warm bases dropped by the byte budget")
+
+	mLPSolves = telemetry.Default().NewCounterVec("hg_lp_solves_total",
+		"cover-LP solves by warm path", "path")
+)
+
+// record publishes one completed Solve into the process-wide metrics
+// and, when the request carries a trace, its event log. err != nil
+// solves (unusable input, internal failures) are not counted.
+func (s *Solver) record(tr *telemetry.Trace, res *Result, err error) {
+	if err != nil || res == nil {
+		return
+	}
+	mSolves.Inc()
+	mSolveSeconds.Observe(res.Elapsed.Seconds())
+	if s.cache != nil {
+		if res.FromCache {
+			mResultCacheHits.Inc()
+		} else {
+			mResultCacheMisses.Inc()
+		}
+	}
+	if res.FromCache {
+		if tr != nil {
+			tr.Eventf("cache", "hit")
+			tr.AddCounters(telemetry.Counters{ResultCacheHits: 1})
+		}
+		return
+	}
+	if res.Partial {
+		mPartial.Inc()
+	}
+	if res.Strategy != "" {
+		mWins.With(res.Strategy).Inc()
+	}
+	if tr != nil && s.cache != nil {
+		tr.Eventf("cache", "miss")
+		tr.AddCounters(telemetry.Counters{ResultCacheMisses: 1})
+	}
+}
+
+// engineCounters maps an engine-stats sink onto trace counters.
+func engineCounters(es *core.EngineStats) telemetry.Counters {
+	return telemetry.Counters{
+		EngineSubproblems: es.Subproblems,
+		EngineMemoHits:    es.MemoHits,
+		DynResets:         es.DynResets,
+		DynSeeded:         es.DynSeeded,
+	}
+}
+
+// flushBasis publishes a retired deepening loop's basis-cache and
+// warm-LP aggregates: always into the process-wide counters, plus — with
+// the loop's engine sink — into the trace when the request has one. The
+// basis cache retains every solver it ever handed out (displaced and
+// evicted ones land on its free list), so its WarmStats are cumulative
+// over the loop.
+func flushBasis(tr *telemetry.Trace, basis *cover.BasisCache, es *core.EngineStats) {
+	bs := basis.Stats()
+	ws := basis.WarmStats()
+	mBasisHits.Add(int64(bs.Hits))
+	mBasisMisses.Add(int64(bs.Misses))
+	mBasisEvictions.Add(int64(bs.Evictions))
+	mLPSolves.With("cold").Add(int64(ws.ColdStarts))
+	mLPSolves.With("noop").Add(int64(ws.NoopSolves))
+	mLPSolves.With("primal").Add(int64(ws.PrimalSolves))
+	mLPSolves.With("dual").Add(int64(ws.DualSolves))
+	if tr == nil {
+		return
+	}
+	c := telemetry.Counters{
+		LPSolves: int64(ws.Solves), LPCold: int64(ws.ColdStarts),
+		LPNoop: int64(ws.NoopSolves), LPPrimal: int64(ws.PrimalSolves),
+		LPDual:    int64(ws.DualSolves),
+		BasisHits: int64(bs.Hits), BasisMisses: int64(bs.Misses),
+		BasisEvictions: int64(bs.Evictions),
+	}
+	if es != nil {
+		c.EngineSubproblems, c.EngineMemoHits = es.Subproblems, es.MemoHits
+		c.DynResets, c.DynSeeded = es.DynResets, es.DynSeeded
+	}
+	tr.AddCounters(c)
+}
+
+// Snapshot is the process-wide solve telemetry aggregate: the solve and
+// cache counters above plus the engine counters internal/core maintains.
+// hgserve /healthz reports it next to the result-cache stats.
+type Snapshot struct {
+	Solves       int64            `json:"solves"`
+	Partial      int64            `json:"partial"`
+	StrategyWins map[string]int64 `json:"strategy_wins,omitempty"`
+	DeepenSteps  map[string]int64 `json:"deepen_steps,omitempty"`
+	Engine       core.EngineStats `json:"engine"`
+	LPSolves     map[string]int64 `json:"lp_solves,omitempty"`
+
+	BasisHits      int64 `json:"basis_hits"`
+	BasisMisses    int64 `json:"basis_misses"`
+	BasisEvictions int64 `json:"basis_evictions"`
+
+	ResultCacheHits   int64 `json:"result_cache_hits"`
+	ResultCacheMisses int64 `json:"result_cache_misses"`
+}
+
+// TelemetrySnapshot reads the current process-wide solve telemetry.
+func TelemetrySnapshot() Snapshot {
+	return Snapshot{
+		Solves:            mSolves.Value(),
+		Partial:           mPartial.Value(),
+		StrategyWins:      mWins.Values(),
+		DeepenSteps:       mDeepenSteps.Values(),
+		Engine:            core.EngineCounters(),
+		LPSolves:          mLPSolves.Values(),
+		BasisHits:         mBasisHits.Value(),
+		BasisMisses:       mBasisMisses.Value(),
+		BasisEvictions:    mBasisEvictions.Value(),
+		ResultCacheHits:   mResultCacheHits.Value(),
+		ResultCacheMisses: mResultCacheMisses.Value(),
+	}
+}

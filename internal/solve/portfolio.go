@@ -4,12 +4,14 @@ import (
 	"context"
 	"math/big"
 	"sync"
+	"time"
 
 	"hypertree/internal/core"
 	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/lp"
+	"hypertree/internal/telemetry"
 )
 
 // The portfolio races bounded strategies for one block under a shared
@@ -116,6 +118,26 @@ func (r *race) upperBelow(k int) bool {
 	return r.res.upper != nil && r.res.upper.Cmp(lp.RI(int64(k))) <= 0
 }
 
+// outcome classifies how a strategy's run ended, for trace strategy_end
+// events: "winner" when the strategy produced the incumbent result
+// ("incumbent" when the bounds have not met yet), "canceled" when the
+// race was over or the budget expired before it finished, "done"
+// otherwise (ran to completion without the best result).
+func (r *race) outcome(name string, ctx context.Context) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.res.strategy == name && r.res.exact:
+		return "winner"
+	case r.res.strategy == name:
+		return "incumbent"
+	case ctx.Err() != nil:
+		return "canceled"
+	default:
+		return "done"
+	}
+}
+
 // ratCeilInt returns ⌈r⌉ as an int, at least 1.
 func ratCeilInt(r *big.Rat) int {
 	q := new(big.Int).Div(r.Num(), r.Denom())
@@ -129,8 +151,10 @@ func ratCeilInt(r *big.Rat) int {
 	return k
 }
 
-// solveBlock runs the portfolio for one block hypergraph.
-func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options) blockResult {
+// solveBlock runs the portfolio for block blk (the index is only used
+// to label trace events).
+func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk int) blockResult {
+	tr := telemetry.FromContext(ctx)
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	r := &race{cancel: cancel}
@@ -156,50 +180,61 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options) blo
 		exactLimit = defaultExactVertexLimit
 	}
 
-	var strategies []func()
+	type strat struct {
+		name string
+		run  func()
+	}
+	var strategies []strat
 	switch opt.Measure {
 	case HW:
-		strategies = append(strategies, func() { deepenHD(bctx, bh, r, maxK) })
+		strategies = append(strategies, strat{"detk", func() { deepenHD(bctx, bh, r, maxK, tr, blk) }})
 	case GHW:
 		if nv <= exactLimit {
-			strategies = append(strategies, func() {
+			strategies = append(strategies, strat{"exact-dp", func() {
 				if w, d, err := core.ExactGHWCtx(bctx, bh); err == nil && d != nil {
 					r.offerExact(lp.RI(int64(w)), d, "exact-dp")
 				}
-			})
+			}})
 		}
 		strategies = append(strategies,
-			func() {
+			strat{"minfill", func() {
 				if w, d, err := core.MinFillGHDCtx(bctx, bh); err == nil && d != nil {
 					r.offerUpper(lp.RI(int64(w)), d, "minfill")
 				}
-			},
-			func() { deepenGHDViaBIP(bctx, bh, r, maxK) },
+			}},
+			strat{"bip", func() { deepenGHDViaBIP(bctx, bh, r, maxK, tr, blk) }},
 		)
 	case FHW:
 		if nv <= exactLimit {
-			strategies = append(strategies, func() {
+			strategies = append(strategies, strat{"exact-dp", func() {
 				if w, d, err := core.ExactFHWCtx(bctx, bh); err == nil && d != nil {
 					r.offerExact(w, d, "exact-dp")
 				}
-			})
+			}})
 		}
 		strategies = append(strategies,
-			func() {
+			strat{"minfill", func() {
 				if w, d, err := core.MinFillFHDCtx(bctx, bh); err == nil && d != nil {
 					r.offerUpper(w, d, "minfill")
 				}
-			},
-			func() { deepenFHDCheck(bctx, bh, r, maxK) },
+			}},
+			strat{"fhd-check", func() { deepenFHDCheck(bctx, bh, r, maxK, tr, blk) }},
 		)
 	}
 
 	var wg sync.WaitGroup
 	for _, st := range strategies {
 		wg.Add(1)
-		go func(st func()) {
+		go func(st strat) {
 			defer wg.Done()
-			st()
+			if tr == nil {
+				st.run()
+				return
+			}
+			tr.StrategyStart(blk, st.name)
+			t0 := time.Now()
+			st.run()
+			tr.StrategyEnd(blk, st.name, time.Since(t0), r.outcome(st.name, bctx))
 		}(st)
 	}
 	// Every strategy polls its context, so on expiry they all unwind
@@ -229,9 +264,16 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options) blo
 // deepenHD runs Check(HD,k) iterative deepening. Every failed level is a
 // proven lower bound; the first success after failing all lower levels
 // is exact.
-func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int) {
+func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int, tr *telemetry.Trace, blk int) {
+	var es *core.EngineStats
+	if tr != nil {
+		es = &core.EngineStats{}
+		defer func() { tr.AddCounters(engineCounters(es)) }()
+	}
 	for k := r.snapshotLower(); k <= maxK; k++ {
-		d, err := core.CheckHDCtx(ctx, bh, k)
+		mDeepenSteps.With("detk").Inc()
+		tr.Deepen(blk, "detk", k)
+		d, err := core.CheckHDStatsCtx(ctx, bh, k, es)
 		if err != nil {
 			return
 		}
@@ -267,10 +309,19 @@ func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int)
 // outlive the deepening loop — it is keyed on this hypergraph's
 // positional vertex numbering and the strategy goroutines each own
 // their loop, so sharing wider would race.
-func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int) {
+func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int, tr *telemetry.Trace, blk int) {
 	basis := cover.NewBasisCache(0)
+	var es *core.EngineStats
+	if tr != nil {
+		es = &core.EngineStats{}
+	}
+	// The retired loop's basis-cache and warm-LP aggregates feed the
+	// process counters (and the trace) even on early return.
+	defer func() { flushBasis(tr, basis, es) }()
 	for k := r.snapshotLower(); k <= maxK; k++ {
-		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), core.FHDOptions{Basis: basis})
+		mDeepenSteps.With("fhd-check").Inc()
+		tr.Deepen(blk, "fhd-check", k)
+		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), core.FHDOptions{Basis: basis, Stats: es})
 		if err != nil {
 			return // context done or closure cap exceeded
 		}
@@ -289,9 +340,16 @@ func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, max
 // deepenGHDViaBIP runs Check(GHD,k) iterative deepening through the
 // subedge-augmentation reduction. If the subedge closure exceeds its cap
 // the strategy retires and leaves the field to the others.
-func deepenGHDViaBIP(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int) {
+func deepenGHDViaBIP(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int, tr *telemetry.Trace, blk int) {
+	var es *core.EngineStats
+	if tr != nil {
+		es = &core.EngineStats{}
+		defer func() { tr.AddCounters(engineCounters(es)) }()
+	}
 	for k := r.snapshotLower(); k <= maxK; k++ {
-		d, err := core.CheckGHDViaBIPCtx(ctx, bh, k, core.Options{})
+		mDeepenSteps.With("bip").Inc()
+		tr.Deepen(blk, "bip", k)
+		d, err := core.CheckGHDViaBIPCtx(ctx, bh, k, core.Options{Stats: es})
 		if err != nil {
 			return // context done or closure cap exceeded
 		}

@@ -24,6 +24,7 @@ import (
 	"hypertree/internal/cover"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/telemetry"
 )
 
 // Measure selects which width measure to compute.
@@ -186,7 +187,20 @@ func Solve(ctx context.Context, h *hypergraph.Hypergraph, opt Options) (*Result,
 // portfolio (fanned out over the worker pool), witness stitching, cache
 // fill. A deadline or cancellation yields a Partial result, not an
 // error; errors are reserved for unusable input and internal failures.
+//
+// When the context carries a telemetry.Trace (telemetry.WithTrace), the
+// pipeline records preprocessing stats, every strategy start/stop and
+// deepening step, and counter snapshots of what the engines and caches
+// did for this request; untraced requests run the exact same path with
+// nil sinks (pinned by TestSolveUntracedAllocs).
 func (s *Solver) Solve(ctx context.Context, h *hypergraph.Hypergraph, opt Options) (*Result, error) {
+	res, err := s.doSolve(ctx, h, opt)
+	s.record(telemetry.FromContext(ctx), res, err)
+	return res, err
+}
+
+// doSolve is Solve without the metrics/trace bookkeeping.
+func (s *Solver) doSolve(ctx context.Context, h *hypergraph.Hypergraph, opt Options) (*Result, error) {
 	start := time.Now()
 	if h == nil {
 		return nil, fmt.Errorf("solve: nil hypergraph")
@@ -351,6 +365,12 @@ func (s *Solver) solve(ctx context.Context, h *hypergraph.Hypergraph, opt Option
 	res := &Result{Measure: opt.Measure}
 	p := simplify(h, opt.Measure, opt.NoPreprocess)
 	res.Pre = PreStats{IsolatedVertices: p.isolated, RemovedEdges: p.removed, Blocks: len(p.blocks)}
+	// Guarded: Eventf's variadic args would allocate even for a nil
+	// trace, and the untraced path must not.
+	if tr := telemetry.FromContext(ctx); tr != nil {
+		tr.Eventf("preprocess", "isolated=%d removed=%d blocks=%d",
+			p.isolated, p.removed, len(p.blocks))
+	}
 
 	if len(p.blocks) == 0 {
 		// No non-empty edges: every width measure is 0 by convention.
@@ -379,12 +399,12 @@ func (s *Solver) solve(ctx context.Context, h *hypergraph.Hypergraph, opt Option
 	var wg sync.WaitGroup
 	for i := range pieces {
 		wg.Add(1)
-		go func(pc *piece) {
+		go func(pc *piece, blk int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			pc.out = solveBlock(ctx, pc.bh, opt)
-		}(&pieces[i])
+			pc.out = solveBlock(ctx, pc.bh, opt, blk)
+		}(&pieces[i], i)
 	}
 	wg.Wait()
 
