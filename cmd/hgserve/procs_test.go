@@ -1,0 +1,57 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The -solve-procs knob must never let a full worker pool oversubscribe
+// the machine (clampSolveProcs), and pool-sized batches must fall back
+// to serial engines no matter what was configured (batchParallelism).
+
+func TestClampSolveProcs(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	if got := clampSolveProcs(0, 4); got != 1 {
+		t.Fatalf("clamp(0, 4) = %d, want 1", got)
+	}
+	if got := clampSolveProcs(-3, 4); got != 1 {
+		t.Fatalf("clamp(-3, 4) = %d, want 1", got)
+	}
+	if got := clampSolveProcs(1, 1); got != 1 {
+		t.Fatalf("clamp(1, 1) = %d, want 1", got)
+	}
+	// A request above the machine's per-slot share is cut to the share.
+	if got := clampSolveProcs(1024, 1); got != maxp {
+		t.Fatalf("clamp(1024, 1) = %d, want GOMAXPROCS=%d", got, maxp)
+	}
+	share := (maxp + 3) / 4 // ⌈GOMAXPROCS/4⌉
+	if got := clampSolveProcs(1024, 4); got != share {
+		t.Fatalf("clamp(1024, 4) = %d, want %d", got, share)
+	}
+	// A modest request within the share passes through.
+	if maxp >= 2 {
+		if got := clampSolveProcs(2, 1); got != 2 {
+			t.Fatalf("clamp(2, 1) = %d, want 2", got)
+		}
+	}
+}
+
+func TestBatchParallelism(t *testing.T) {
+	// Serial config stays serial whatever the batch shape.
+	if got := batchParallelism(1, 1, 8); got != 1 {
+		t.Fatalf("batchParallelism(1, 1, 8) = %d, want 1", got)
+	}
+	// A pool-sized (or larger) batch forces serial engines: instance
+	// shards alone saturate the workers.
+	if got := batchParallelism(4, 8, 8); got != 1 {
+		t.Fatalf("batchParallelism(4, 8, 8) = %d, want 1", got)
+	}
+	if got := batchParallelism(4, 4096, 8); got != 1 {
+		t.Fatalf("batchParallelism(4, 4096, 8) = %d, want 1", got)
+	}
+	// A small batch leaves pool slots idle, so the configured intra-solve
+	// parallelism survives.
+	if got := batchParallelism(4, 2, 8); got != 4 {
+		t.Fatalf("batchParallelism(4, 2, 8) = %d, want 4", got)
+	}
+}

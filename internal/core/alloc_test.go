@@ -17,12 +17,18 @@ import (
 // these bounds keep from silently regressing. The bounds carry ~50%
 // headroom over the measured counts (GHD ≈ 200, HD ≈ 101, FHD ≈ 6500 on
 // grid 2×3; the pre-PR-6 engine sat at 289 for the GHD run).
+//
+// Since PR 8 the engine has a parallel mode; Parallelism: 1 is the
+// contract-level "exact serial search" and the pins request it
+// explicitly, so they hold on any host regardless of GOMAXPROCS and of
+// the auto-parallel size gate.
 
 func TestCheckGHDSteadyStateAllocBound(t *testing.T) {
 	g := hypergraph.Grid(2, 3)
-	core.CheckGHDViaBIP(g, 2, core.Options{}) // warm pools and arenas
+	opt := core.Options{Parallelism: 1}
+	core.CheckGHDViaBIP(g, 2, opt) // warm pools and arenas
 	if n := testing.AllocsPerRun(30, func() {
-		core.CheckGHDViaBIP(g, 2, core.Options{})
+		core.CheckGHDViaBIP(g, 2, opt)
 	}); n > 300 {
 		t.Fatalf("CheckGHDViaBIP allocates %v per run, want ≤ 300", n)
 	}
@@ -30,11 +36,12 @@ func TestCheckGHDSteadyStateAllocBound(t *testing.T) {
 
 func TestCheckHDSteadyStateAllocBound(t *testing.T) {
 	g := hypergraph.Grid(2, 3)
-	core.CheckHD(g, 3)
+	opt := core.Options{Parallelism: 1}
+	core.CheckHDOpt(g, 3, opt)
 	if n := testing.AllocsPerRun(30, func() {
-		core.CheckHD(g, 3)
+		core.CheckHDOpt(g, 3, opt)
 	}); n > 160 {
-		t.Fatalf("CheckHD allocates %v per run, want ≤ 160", n)
+		t.Fatalf("CheckHDOpt allocates %v per run, want ≤ 160", n)
 	}
 }
 
@@ -44,9 +51,10 @@ func TestCheckFHDSteadyStateAllocBound(t *testing.T) {
 	// warm-start or a de-pooled scratch path.
 	g := hypergraph.Grid(2, 3)
 	k := lp.RI(2)
-	core.CheckFHD(g, k, core.FHDOptions{})
+	opt := core.FHDOptions{Parallelism: 1}
+	core.CheckFHD(g, k, opt)
 	if n := testing.AllocsPerRun(10, func() {
-		core.CheckFHD(g, k, core.FHDOptions{})
+		core.CheckFHD(g, k, opt)
 	}); n > 9800 {
 		t.Fatalf("CheckFHD allocates %v per run, want ≤ 9800", n)
 	}

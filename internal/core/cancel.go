@@ -57,11 +57,17 @@ func CheckHDCtx(ctx context.Context, h *hypergraph.Hypergraph, k int) (d *decomp
 // (including cancelled returns — the deferred flush runs during
 // unwinding). Traced solves use this; pass nil otherwise.
 func CheckHDStatsCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, stats *EngineStats) (d *decomp.Decomp, err error) {
+	return CheckHDOptCtx(ctx, h, k, Options{Stats: stats})
+}
+
+// CheckHDOptCtx is CheckHDOpt under a context: cancellable, with the
+// stats sink and parallelism knobs of Options.
+func CheckHDOptCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, opt Options) (d *decomp.Decomp, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	defer recoverCanceled(ctx, &err)
-	d = checkHD(h, k, ctx.Done(), stats)
+	d = checkHD(h, k, ctx.Done(), opt)
 	return d, nil
 }
 

@@ -88,6 +88,11 @@ func (o *hdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, tr
 			return false
 		}
 		for i := start; candMark+i < len(o.candBuf); i++ {
+			// Speculative root partition (parallel runs only): first
+			// atoms belonging to another worker's slice are skipped.
+			if e.specSkip(len(o.lamBuf) == lamMark, i) {
+				continue
+			}
 			ed := o.candBuf[candMark+i]
 			o.lamBuf = append(o.lamBuf, ed)
 			// Mirror the push into the engine's component structure: the
@@ -145,18 +150,32 @@ func (o *hdOracle) check(e *engine, c, w hypergraph.VertexSet, lambda []int, try
 // (component, connector) subproblems; it runs in polynomial time for
 // fixed k.
 func CheckHD(h *hypergraph.Hypergraph, k int) *decomp.Decomp {
-	return checkHD(h, k, nil, nil)
+	return checkHD(h, k, nil, Options{})
 }
 
-// checkHD is CheckHD with an optional cancellation channel and stats
-// sink; see CheckHDCtx and CheckHDStatsCtx in cancel.go for the
+// CheckHDOpt is CheckHD with engine options — the stats sink and the
+// parallelism knobs; the GHD-specific subedge cap is ignored.
+func CheckHDOpt(h *hypergraph.Hypergraph, k int, opt Options) *decomp.Decomp {
+	return checkHD(h, k, nil, opt)
+}
+
+// checkHD is CheckHD with an optional cancellation channel and engine
+// options; see CheckHDCtx and CheckHDStatsCtx in cancel.go for the
 // context-aware entry points.
-func checkHD(h *hypergraph.Hypergraph, k int, done <-chan struct{}, sink *EngineStats) *decomp.Decomp {
+func checkHD(h *hypergraph.Hypergraph, k int, done <-chan struct{}, opt Options) *decomp.Decomp {
 	if k <= 0 || h.NumEdges() == 0 {
 		return nil
 	}
+	if par := effectiveParallelism(opt.Parallelism, h); par > 1 {
+		// The HD oracle cannot fail sideways; the only error path out of
+		// runParallel is the canceled panic, handled by the Ctx wrappers.
+		d, _ := runParallel(h, func() coverOracle {
+			return newHDOracle(h, k)
+		}, done, par, opt.Budget, opt.Stats)
+		return d
+	}
 	e := newEngine(h, newHDOracle(h, k), false, done)
-	e.sink = sink
+	e.sink = opt.Stats
 	defer e.finish()
 	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
 	if !ok {

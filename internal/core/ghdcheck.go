@@ -9,7 +9,8 @@ import (
 	"hypertree/internal/lp"
 )
 
-// Options configure the Check(GHD,k) procedures.
+// Options configure the Check(GHD,k) procedures (and, via CheckHDOpt,
+// Check(HD,k); the subedge cap is ignored there).
 type Options struct {
 	// MaxSubedges caps the number of distinct subedges the lazy
 	// generator may intern over the whole run (0 = library default).
@@ -18,6 +19,18 @@ type Options struct {
 	// completion (added, so one sink can accumulate across deepening
 	// levels). Leave nil when not tracing.
 	Stats *EngineStats
+	// Parallelism bounds the CPU workers one engine run may use:
+	// speculative top-level guess exploration plus concurrent child
+	// components (parallel.go). 1 (or negative) is the exact serial
+	// search — bit-for-bit, preserving the allocation pins — an
+	// explicit n > 1 is obeyed as given, and the 0 default means
+	// GOMAXPROCS on instances large enough to amortize the machinery.
+	Parallelism int
+	// Budget, when non-nil, is the shared CPU-token pool extra workers
+	// draw from, so concurrent strategies racing over one solve split
+	// the host instead of multiplying (solve threads one per request).
+	// Nil gives the run a private budget of Parallelism-1 tokens.
+	Budget *Budget
 }
 
 const defaultMaxSubedges = 2_000_000
@@ -172,6 +185,11 @@ func (o *ghdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 					break
 				}
 			}
+			// Speculative root partition (parallel runs only): first
+			// atoms belonging to another worker's slice are skipped.
+			if e.specSkip(len(o.lamBuf) == lamMark, i) {
+				continue
+			}
 			a := o.ordBuf[ordMark+i]
 			o.lamBuf = append(o.lamBuf, a)
 			e.compPush(i, a.set) // keyed by ordered-list index
@@ -192,6 +210,9 @@ func (o *ghdOracle) guesses(e *engine, c hypergraph.VertexSet, st engineState, t
 // dynAware: the λ stack above is mirrored into the engine's incremental
 // component structure.
 func (o *ghdOracle) dynAware() {}
+
+// oracleErr exposes the sideways failure to parallel runs (errOracle).
+func (o *ghdOracle) oracleErr() error { return o.err }
 
 // check tests one guess λ of atoms. Atoms are subsets of the scope, so
 // the bag is their plain union.
@@ -344,6 +365,11 @@ func checkGHD(h *hypergraph.Hypergraph, k int, opt Options, exact bool, done <-c
 	max := opt.MaxSubedges
 	if max == 0 {
 		max = defaultMaxSubedges
+	}
+	if par := effectiveParallelism(opt.Parallelism, h); par > 1 {
+		return runParallel(h, func() coverOracle {
+			return newGHDOracle(h, k, exact, max)
+		}, done, par, opt.Budget, opt.Stats)
 	}
 	o := newGHDOracle(h, k, exact, max)
 	e := newEngine(h, o, false, done)

@@ -1,0 +1,221 @@
+package core
+
+// White-box tests for the parallel-run plumbing: the sharded interner's
+// fingerprint-stable ids under concurrent interning, the memo-shard
+// publication rules, the CPU-token budget, and the Parallelism
+// resolution. The end-to-end parallel-vs-serial differentials live in
+// parallel_test.go (package core_test).
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hypertree/internal/hypergraph"
+)
+
+// TestParallelShardedInternerStress hammers one shardedIntern from many
+// goroutines over a shared universe of sets and pins fingerprint
+// stability: every goroutine must observe the same id and the same
+// canonical copy for equal sets, ids must be distinct across distinct
+// sets, and canonical copies must equal their sources.
+func TestParallelShardedInternerStress(t *testing.T) {
+	const universe, workers, rounds = 200, 8, 4000
+	sets := make([]hypergraph.VertexSet, universe)
+	for i := range sets {
+		rng := rand.New(rand.NewSource(int64(i)))
+		s := hypergraph.NewVertexSet(256)
+		for v := 0; v < 256; v++ {
+			if rng.Intn(3) == 0 {
+				s.Add(v)
+			}
+		}
+		s.Add(i) // distinct from every other set in the universe
+		sets[i] = s
+	}
+	var contention atomic.Int64
+	si := &shardedIntern{contention: &contention}
+	ids := make([][]int32, workers)
+	canons := make([][]hypergraph.VertexSet, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ids[w] = make([]int32, universe)
+		canons[w] = make([]hypergraph.VertexSet, universe)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for r := 0; r < rounds; r++ {
+				i := rng.Intn(universe)
+				id, canon := si.intern(sets[i])
+				if prev := ids[w][i]; prev != 0 && prev != id {
+					t.Errorf("worker %d: set %d interned as %d then %d", w, i, prev, id)
+					return
+				}
+				ids[w][i] = id
+				canons[w][i] = canon
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Cross-worker agreement and id/canonical consistency.
+	seen := map[int32]int{}
+	for i := 0; i < universe; i++ {
+		var id int32
+		var canon hypergraph.VertexSet
+		for w := 0; w < workers; w++ {
+			if canons[w][i] == nil {
+				continue
+			}
+			if canon == nil {
+				id, canon = ids[w][i], canons[w][i]
+				continue
+			}
+			if ids[w][i] != id {
+				t.Fatalf("set %d: workers disagree on id (%d vs %d)", i, id, ids[w][i])
+			}
+			if &canons[w][i][0] != &canon[0] {
+				t.Fatalf("set %d: workers hold different canonical copies", i)
+			}
+		}
+		if canon == nil {
+			continue // never drawn by any worker
+		}
+		if !canon.Equal(sets[i]) {
+			t.Fatalf("set %d: canonical copy differs from source", i)
+		}
+		if j, dup := seen[id]; dup {
+			t.Fatalf("sets %d and %d share id %d", j, i, id)
+		}
+		seen[id] = i
+	}
+	// And a fresh serial pass must reproduce the ids exactly: the id is
+	// a pure function of (insertion order within shard), and the shard
+	// of a set is a pure function of its fingerprint.
+	for i := 0; i < universe; i++ {
+		if canons[0][i] == nil {
+			continue
+		}
+		id, _ := si.intern(sets[i])
+		if id != ids[0][i] {
+			t.Fatalf("set %d: re-intern returned %d, want %d", i, id, ids[0][i])
+		}
+	}
+}
+
+// TestParallelShardedMemoPublish pins the publication rules: first
+// non-nil wins, nil never shadows a non-nil, and nil is replaceable by
+// non-nil (a speculative root failure must not mask a sibling's
+// witness).
+func TestParallelShardedMemoPublish(t *testing.T) {
+	var contention atomic.Int64
+	sm := &shardedMemo{contention: &contention}
+	key := engineKey{c: 7, a: 3, b: -1}
+	if _, ok := sm.get(key); ok {
+		t.Fatal("empty memo reports a hit")
+	}
+	sm.put(key, nil)
+	if n, ok := sm.get(key); !ok || n != nil {
+		t.Fatal("nil (failure) entry not stored")
+	}
+	win := &engineNode{}
+	sm.put(key, win)
+	if n, _ := sm.get(key); n != win {
+		t.Fatal("non-nil must replace a nil entry")
+	}
+	sm.put(key, nil)
+	if n, _ := sm.get(key); n != win {
+		t.Fatal("nil must not shadow a non-nil entry")
+	}
+	sm.put(key, &engineNode{})
+	if n, _ := sm.get(key); n != win {
+		t.Fatal("first non-nil entry must win")
+	}
+}
+
+// TestParallelBudget pins the token discipline, including the nil
+// receiver (always empty) and concurrent acquire/release balance.
+func TestParallelBudget(t *testing.T) {
+	var nilB *Budget
+	if nilB.TryAcquire() {
+		t.Fatal("nil budget handed out a token")
+	}
+	nilB.Release() // must not panic
+	if nilB.Free() != 0 {
+		t.Fatal("nil budget reports free tokens")
+	}
+
+	b := NewBudget(3)
+	for i := 0; i < 3; i++ {
+		if !b.TryAcquire() {
+			t.Fatalf("token %d not granted", i)
+		}
+	}
+	if b.TryAcquire() {
+		t.Fatal("budget oversubscribed")
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("released token not reusable")
+	}
+
+	// Concurrent churn must conserve tokens.
+	b = NewBudget(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				if b.TryAcquire() {
+					b.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Free(); got != 4 {
+		t.Fatalf("budget leaked: %d tokens free, want 4", got)
+	}
+}
+
+// TestParallelEffectiveParallelism pins the resolution rules: 1 and
+// negative mean serial, explicit n > 1 is obeyed as given, and the 0
+// default is size-gated.
+func TestParallelEffectiveParallelism(t *testing.T) {
+	small := hypergraph.Grid(2, 3)         // below parAutoMinEdges
+	big := hypergraph.HyperCycle(10, 3, 1) // 10 edges, above the gate
+	if got := effectiveParallelism(1, big); got != 1 {
+		t.Fatalf("Parallelism 1 resolved to %d", got)
+	}
+	if got := effectiveParallelism(-2, big); got != 1 {
+		t.Fatalf("negative Parallelism resolved to %d", got)
+	}
+	if got := effectiveParallelism(4, small); got != 4 {
+		t.Fatalf("explicit 4 resolved to %d (must be obeyed even on small instances)", got)
+	}
+	if got := effectiveParallelism(0, small); got != 1 {
+		t.Fatalf("default on a small instance resolved to %d, want 1", got)
+	}
+}
+
+// TestParallelSerialRunsShareNoState — a Parallelism-1 engine must not
+// touch the parallel machinery at all: its par field stays nil, so the
+// private memo/interner paths are taken (this is what the alloc pins
+// and the bit-for-bit serial contract rest on).
+func TestParallelSerialRunsShareNoState(t *testing.T) {
+	h := hypergraph.Grid(2, 3)
+	e := newEngine(h, newHDOracle(h, 3), false, nil)
+	defer e.finish()
+	if e.par != nil {
+		t.Fatal("fresh engine has parallel state")
+	}
+	key, ok := e.decompose(h.Vertices(), engineState{a: hypergraph.NewVertexSet(h.NumVertices())})
+	if !ok {
+		t.Fatal("grid 2x3 must decompose at k=3")
+	}
+	if _, hit := e.memo[key]; !hit {
+		t.Fatal("serial run did not use the private memo table")
+	}
+}

@@ -1,0 +1,223 @@
+package core_test
+
+// Differential tests for the parallel engine (PR 8): every Check(·,k)
+// decision and witness width must agree across Parallelism ∈ {1, 4}.
+// Parallelism 1 is the exact serial search; an explicit 4 is obeyed
+// even on small instances and single-core hosts, so the speculative
+// root partition, the sharded memo/interner and the child-component
+// fan-out are all exercised regardless of the machine (CI additionally
+// runs this file under -race with GOMAXPROCS=4). The comparison runs
+// at the serial ground-truth width (accept, witness validated at that
+// width) and just below it (both reject), over the testdata/corpus
+// mini corpus and the E-series generator families, mirroring the PR-5
+// lazy-vs-eager pattern in fhddiff_test.go.
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hypertree/internal/core"
+	"hypertree/internal/corpus"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+const diffPar = 4
+
+// parDiffable gates the integral (HD/GHD) differential to instances
+// whose full rejection leg stays CI-sized under the race detector.
+func parDiffable(h *hypergraph.Hypergraph) bool {
+	return h.NumVertices() <= 18 && h.NumEdges() <= 18 && h.Rank() <= 6
+}
+
+// diffParallelHD pins Check(HD,k) across parallelism at hw and hw-1.
+func diffParallelHD(t *testing.T, name string, h *hypergraph.Hypergraph) {
+	t.Helper()
+	hw, _ := core.HW(h, 0) // serial ground truth
+	if hw < 0 {
+		return
+	}
+	par := core.CheckHDOpt(h, hw, core.Options{Parallelism: diffPar})
+	if par == nil {
+		t.Fatalf("%s: parallel Check(HD,%d) rejects, serial accepts", name, hw)
+	}
+	if err := par.ValidateWidth(decomp.HD, lp.RI(int64(hw))); err != nil {
+		t.Fatalf("%s: parallel HD witness invalid at hw=%d: %v", name, hw, err)
+	}
+	if hw > 1 {
+		if d := core.CheckHDOpt(h, hw-1, core.Options{Parallelism: diffPar}); d != nil {
+			t.Fatalf("%s: parallel Check(HD,%d) accepts below hw=%d", name, hw-1, hw)
+		}
+	}
+}
+
+// diffParallelGHD pins Check(GHD,k)-via-BIP across parallelism at ghw
+// and ghw-1.
+func diffParallelGHD(t *testing.T, name string, h *hypergraph.Hypergraph) {
+	t.Helper()
+	ghw := -1
+	for k := 1; k <= h.NumEdges(); k++ {
+		d, err := core.CheckGHDViaBIP(h, k, core.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: serial Check(GHD,%d): %v", name, k, err)
+		}
+		if d != nil {
+			ghw = k
+			break
+		}
+	}
+	if ghw < 0 {
+		t.Fatalf("%s: serial GHD deepening found no width", name)
+	}
+	par, err := core.CheckGHDViaBIP(h, ghw, core.Options{Parallelism: diffPar})
+	if err != nil {
+		t.Fatalf("%s: parallel Check(GHD,%d): %v", name, ghw, err)
+	}
+	if par == nil {
+		t.Fatalf("%s: parallel Check(GHD,%d) rejects, serial accepts", name, ghw)
+	}
+	if err := par.ValidateWidth(decomp.GHD, lp.RI(int64(ghw))); err != nil {
+		t.Fatalf("%s: parallel GHD witness invalid at ghw=%d: %v", name, ghw, err)
+	}
+	if ghw > 1 {
+		d, err := core.CheckGHDViaBIP(h, ghw-1, core.Options{Parallelism: diffPar})
+		if err != nil {
+			t.Fatalf("%s: parallel Check(GHD,%d): %v", name, ghw-1, err)
+		}
+		if d != nil {
+			t.Fatalf("%s: parallel Check(GHD,%d) accepts below ghw=%d", name, ghw-1, ghw)
+		}
+	}
+}
+
+// diffParallelFHD pins Check(FHD,k) across parallelism at fhw (from the
+// exact DP) and just below.
+func diffParallelFHD(t *testing.T, name string, h *hypergraph.Hypergraph) {
+	t.Helper()
+	fhw, _ := core.ExactFHW(h)
+	if fhw == nil {
+		return
+	}
+	par, err := core.CheckFHD(h, fhw, core.FHDOptions{Parallelism: diffPar})
+	if err != nil {
+		t.Fatalf("%s: parallel CheckFHD: %v", name, err)
+	}
+	if par == nil {
+		t.Fatalf("%s: parallel Check(FHD,%s) rejects, exact DP says fhw", name, fhw.RatString())
+	}
+	if par.Width().Cmp(fhw) != 0 {
+		t.Fatalf("%s: parallel FHD width %s != fhw %s", name, par.Width().RatString(), fhw.RatString())
+	}
+	if err := par.ValidateWidth(decomp.FHD, fhw); err != nil {
+		t.Fatalf("%s: parallel FHD witness invalid: %v", name, err)
+	}
+	if fhw.Cmp(lp.RI(1)) > 0 && h.NumEdges() <= 8 {
+		below := new(big.Rat).Sub(fhw, lp.R(1, 1000))
+		d, err := core.CheckFHD(h, below, core.FHDOptions{Parallelism: diffPar})
+		if err != nil {
+			t.Fatalf("%s: parallel CheckFHD below fhw: %v", name, err)
+		}
+		if d != nil {
+			t.Fatalf("%s: parallel Check(FHD,%s) accepts below fhw", name, below.RatString())
+		}
+	}
+}
+
+// TestParallelEngineMatchesSerialOnCorpus runs the three differentials
+// over every tractable instance of the testdata/corpus mini corpus.
+func TestParallelEngineMatchesSerialOnCorpus(t *testing.T) {
+	instances, err := corpus.LoadDir("../../testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) == 0 {
+		t.Fatal("empty corpus")
+	}
+	ran := 0
+	for _, in := range instances {
+		h, _, err := in.Read()
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if !parDiffable(h) {
+			continue
+		}
+		ran++
+		diffParallelHD(t, in.Name, h)
+		diffParallelGHD(t, in.Name, h)
+		if h.NumVertices() <= 14 && h.Rank() <= 5 {
+			diffParallelFHD(t, in.Name, h)
+		}
+	}
+	if ran < 10 {
+		t.Fatalf("only %d corpus instances were diffable; the gate is too tight", ran)
+	}
+}
+
+// TestParallelEngineMatchesSerialOnGenerators runs the differentials
+// over the E-series generator families — including instances with many
+// components after one bag removal (grids, hypercycles), which drive
+// the child-offload path, and disconnected ones (twotriangles), which
+// split at the root.
+func TestParallelEngineMatchesSerialOnGenerators(t *testing.T) {
+	fixtures := map[string]*hypergraph.Hypergraph{
+		"path6":        hypergraph.Path(6),
+		"cycle7":       hypergraph.Cycle(7),
+		"clique4":      hypergraph.Clique(4),
+		"grid3x3":      hypergraph.Grid(3, 3),
+		"hypercycle":   hypergraph.HyperCycle(6, 3, 1),
+		"twotriangles": hypergraph.MustParse("a1(x,y),a2(y,z),a3(z,x),b1(p,q),b2(q,r),b3(r,p)"),
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fixtures["bdp"+string(rune('0'+seed))] = hypergraph.RandomBoundedDegree(rng, 7, 5, 3, 2)
+	}
+	for name, h := range fixtures {
+		if !parDiffable(h) {
+			t.Fatalf("fixture %s is not diffable; shrink it", name)
+		}
+		diffParallelHD(t, name, h)
+		diffParallelGHD(t, name, h)
+		if h.NumVertices() <= 14 && h.Rank() <= 5 {
+			diffParallelFHD(t, name, h)
+		}
+	}
+}
+
+// TestParallelEngineCancellation — a parallel run must unwind cleanly
+// into ctx.Err() like the serial one: no panic escaping, no goroutine
+// deadlock, witnesses nil.
+func TestParallelEngineCancellation(t *testing.T) {
+	h := hypergraph.AntiBMIP(9) // hard enough that 1ms always expires mid-search
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	d, err := core.CheckHDOptCtx(ctx, h, 2, core.Options{Parallelism: diffPar})
+	if err == nil && d == nil {
+		t.Skip("search finished inside the deadline; nothing to assert")
+	}
+	if err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if err != nil && d != nil {
+		t.Fatalf("canceled run returned a witness")
+	}
+}
+
+// TestParallelEngineSubedgeCapSurfaces — when every speculative worker
+// trips the subedge cap, the error must surface instead of a spurious
+// clean "no" (failures under a capped closure cannot be trusted).
+func TestParallelEngineSubedgeCapSurfaces(t *testing.T) {
+	h := hypergraph.Clique(6)
+	_, serr := core.CheckGHDExact(h, 2, core.Options{MaxSubedges: 4, Parallelism: 1})
+	if serr == nil {
+		t.Skip("cap did not trip serially; fixture too small")
+	}
+	_, perr := core.CheckGHDExact(h, 2, core.Options{MaxSubedges: 4, Parallelism: diffPar})
+	if perr == nil {
+		t.Fatalf("parallel run swallowed the subedge-cap error (serial: %v)", serr)
+	}
+}

@@ -152,8 +152,11 @@ func ratCeilInt(r *big.Rat) int {
 }
 
 // solveBlock runs the portfolio for block blk (the index is only used
-// to label trace events).
-func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk int) blockResult {
+// to label trace events). budget is the solve-wide CPU-token pool the
+// deepening strategies hand to their engines so intra-solve workers
+// never oversubscribe the machine across racing strategies and blocks;
+// nil means no extra workers.
+func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk int, budget *core.Budget) blockResult {
 	tr := telemetry.FromContext(ctx)
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -187,7 +190,7 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 	var strategies []strat
 	switch opt.Measure {
 	case HW:
-		strategies = append(strategies, strat{"detk", func() { deepenHD(bctx, bh, r, maxK, tr, blk) }})
+		strategies = append(strategies, strat{"detk", func() { deepenHD(bctx, bh, r, opt, maxK, tr, blk, budget) }})
 	case GHW:
 		if nv <= exactLimit {
 			strategies = append(strategies, strat{"exact-dp", func() {
@@ -202,7 +205,7 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 					r.offerUpper(lp.RI(int64(w)), d, "minfill")
 				}
 			}},
-			strat{"bip", func() { deepenGHDViaBIP(bctx, bh, r, maxK, tr, blk) }},
+			strat{"bip", func() { deepenGHDViaBIP(bctx, bh, r, opt, maxK, tr, blk, budget) }},
 		)
 	case FHW:
 		if nv <= exactLimit {
@@ -218,7 +221,7 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 					r.offerUpper(w, d, "minfill")
 				}
 			}},
-			strat{"fhd-check", func() { deepenFHDCheck(bctx, bh, r, maxK, tr, blk) }},
+			strat{"fhd-check", func() { deepenFHDCheck(bctx, bh, r, opt, maxK, tr, blk, budget) }},
 		)
 	}
 
@@ -264,16 +267,17 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 // deepenHD runs Check(HD,k) iterative deepening. Every failed level is a
 // proven lower bound; the first success after failing all lower levels
 // is exact.
-func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int, tr *telemetry.Trace, blk int) {
+func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, opt Options, maxK int, tr *telemetry.Trace, blk int, budget *core.Budget) {
 	var es *core.EngineStats
 	if tr != nil {
 		es = &core.EngineStats{}
 		defer func() { tr.AddCounters(engineCounters(es)) }()
 	}
+	copt := core.Options{Stats: es, Parallelism: opt.Parallelism, Budget: budget}
 	for k := r.snapshotLower(); k <= maxK; k++ {
 		mDeepenSteps.With("detk").Inc()
 		tr.Deepen(blk, "detk", k)
-		d, err := core.CheckHDStatsCtx(ctx, bh, k, es)
+		d, err := core.CheckHDOptCtx(ctx, bh, k, copt)
 		if err != nil {
 			return
 		}
@@ -309,19 +313,23 @@ func deepenHD(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int,
 // outlive the deepening loop — it is keyed on this hypergraph's
 // positional vertex numbering and the strategy goroutines each own
 // their loop, so sharing wider would race.
-func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int, tr *telemetry.Trace, blk int) {
+func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, opt Options, maxK int, tr *telemetry.Trace, blk int, budget *core.Budget) {
 	basis := cover.NewBasisCache(0)
 	var es *core.EngineStats
 	if tr != nil {
 		es = &core.EngineStats{}
 	}
 	// The retired loop's basis-cache and warm-LP aggregates feed the
-	// process counters (and the trace) even on early return.
+	// process counters (and the trace) even on early return. Parallel
+	// levels recycle per-worker pooled caches instead of this one (the
+	// cache is not concurrency-safe), so its aggregates then stay at
+	// whatever the serial levels accumulated.
 	defer func() { flushBasis(tr, basis, es) }()
+	fopt := core.FHDOptions{Basis: basis, Stats: es, Parallelism: opt.Parallelism, Budget: budget}
 	for k := r.snapshotLower(); k <= maxK; k++ {
 		mDeepenSteps.With("fhd-check").Inc()
 		tr.Deepen(blk, "fhd-check", k)
-		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), core.FHDOptions{Basis: basis, Stats: es})
+		d, err := core.CheckFHDCtx(ctx, bh, lp.RI(int64(k)), fopt)
 		if err != nil {
 			return // context done or closure cap exceeded
 		}
@@ -340,16 +348,17 @@ func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, max
 // deepenGHDViaBIP runs Check(GHD,k) iterative deepening through the
 // subedge-augmentation reduction. If the subedge closure exceeds its cap
 // the strategy retires and leaves the field to the others.
-func deepenGHDViaBIP(ctx context.Context, bh *hypergraph.Hypergraph, r *race, maxK int, tr *telemetry.Trace, blk int) {
+func deepenGHDViaBIP(ctx context.Context, bh *hypergraph.Hypergraph, r *race, opt Options, maxK int, tr *telemetry.Trace, blk int, budget *core.Budget) {
 	var es *core.EngineStats
 	if tr != nil {
 		es = &core.EngineStats{}
 		defer func() { tr.AddCounters(engineCounters(es)) }()
 	}
+	copt := core.Options{Stats: es, Parallelism: opt.Parallelism, Budget: budget}
 	for k := r.snapshotLower(); k <= maxK; k++ {
 		mDeepenSteps.With("bip").Inc()
 		tr.Deepen(blk, "bip", k)
-		d, err := core.CheckGHDViaBIPCtx(ctx, bh, k, core.Options{Stats: es})
+		d, err := core.CheckGHDViaBIPCtx(ctx, bh, k, copt)
 		if err != nil {
 			return // context done or closure cap exceeded
 		}

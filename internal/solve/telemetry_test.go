@@ -66,7 +66,7 @@ func TestDeepenFHDTrace(t *testing.T) {
 	r := &race{cancel: cancel}
 	r.res.lower = lp.RI(1)
 	tr := telemetry.NewTrace()
-	deepenFHDCheck(bctx, hypergraph.Clique(3), r, 4, tr, 0)
+	deepenFHDCheck(bctx, hypergraph.Clique(3), r, Options{}, 4, tr, 0, nil)
 	if r.res.upper == nil {
 		t.Fatal("fhd-check found no witness")
 	}
