@@ -20,6 +20,7 @@ import (
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/lp"
+	"hypertree/internal/ordenc"
 	"hypertree/internal/sat"
 	"hypertree/internal/vc"
 )
@@ -514,6 +515,60 @@ func BenchmarkEngineParallel(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkSATOrdering — PR 9: the ordering-based SAT strategy against
+// the engine's subedge-based deepening on mid-size grids (24–28
+// vertices). Both legs run the full ghw deepening sweep — reject every
+// level below 3, accept at 3 — which is exactly the race the portfolio
+// stages; the SAT legs keep one incremental solver across levels.
+func BenchmarkSATOrdering(b *testing.B) {
+	for _, tc := range []struct {
+		name       string
+		rows, cols int
+	}{
+		{"grid4x6", 4, 6},
+		{"grid4x7", 4, 7},
+	} {
+		const ghw = 3
+		g := hypergraph.Grid(tc.rows, tc.cols)
+		b.Run(tc.name+"/sat-ord", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := ordenc.NewGHWSearch(g, ghw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 1; ; k++ {
+					d, err := s.Check(nil, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d != nil {
+						if k != ghw {
+							b.Fatalf("accepted at %d, want %d", k, ghw)
+						}
+						break
+					}
+				}
+			}
+		})
+		b.Run(tc.name+"/engine", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for k := 1; ; k++ {
+					d, err := core.CheckGHDViaBIP(g, k, core.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d != nil {
+						if k != ghw {
+							b.Fatalf("accepted at %d, want %d", k, ghw)
+						}
+						break
+					}
+				}
+			}
 		})
 	}
 }

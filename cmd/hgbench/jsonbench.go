@@ -10,7 +10,9 @@ package main
 // three measures, plus the FHD deepening loop run cold (a fresh basis
 // cache per level) and shared (one cache across levels, the
 // solve.deepenFHDCheck wiring) to expose the cross-level warm-basis
-// effect as a first-class measurement.
+// effect as a first-class measurement. The GHWDeepen pairs race the
+// sat-ord incremental CDCL sweep against the engine's Check(GHD,k)
+// deepening on the same mid-size grids.
 
 import (
 	"encoding/json"
@@ -26,6 +28,7 @@ import (
 	"hypertree/internal/cover"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/lp"
+	"hypertree/internal/ordenc"
 )
 
 // benchRecord is one benchmark result row.
@@ -109,6 +112,61 @@ func jsonBenchSet() []struct {
 		{"EngineParallel/hypercycle-accept/procs=1", func(b *testing.B) { benchParallelHCAccept(b, 1) }},
 		{"EngineParallel/hypercycle-accept/procs=2", func(b *testing.B) { benchParallelHCAccept(b, 2) }},
 		{"EngineParallel/hypercycle-accept/procs=4", func(b *testing.B) { benchParallelHCAccept(b, 4) }},
+		{"GHWDeepen/grid4x6/sat-ord", func(b *testing.B) { benchSATOrdDeepen(b, 4, 6) }},
+		{"GHWDeepen/grid4x6/engine", func(b *testing.B) { benchEngineDeepen(b, 4, 6) }},
+		{"GHWDeepen/grid4x7/sat-ord", func(b *testing.B) { benchSATOrdDeepen(b, 4, 7) }},
+		{"GHWDeepen/grid4x7/engine", func(b *testing.B) { benchEngineDeepen(b, 4, 7) }},
+	}
+}
+
+// gridGHW is the generalized hypertree width of the 4×n grids the
+// deepening legs sweep; both benches assert it.
+const gridGHW = 3
+
+// benchSATOrdDeepen — PR 9: the full sat-ord ghw deepening sweep on a
+// mid-size grid (reject below gridGHW, accept at it), one incremental
+// CDCL solver carrying learned clauses across the levels. Paired with
+// benchEngineDeepen on the same instance, the committed records show
+// the ordering strategy winning the 24–28 vertex grids outright.
+func benchSATOrdDeepen(b *testing.B, rows, cols int) {
+	g := hypergraph.Grid(rows, cols)
+	for i := 0; i < b.N; i++ {
+		s, err := ordenc.NewGHWSearch(g, gridGHW)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 1; ; k++ {
+			d, err := s.Check(nil, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d != nil {
+				if k != gridGHW {
+					b.Fatalf("accepted at %d, want %d", k, gridGHW)
+				}
+				break
+			}
+		}
+	}
+}
+
+// benchEngineDeepen is the engine-side twin: the same deepening sweep
+// through Check(GHD,k) via BIP subedges.
+func benchEngineDeepen(b *testing.B, rows, cols int) {
+	g := hypergraph.Grid(rows, cols)
+	for i := 0; i < b.N; i++ {
+		for k := 1; ; k++ {
+			d, err := core.CheckGHDViaBIP(g, k, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d != nil {
+				if k != gridGHW {
+					b.Fatalf("accepted at %d, want %d", k, gridGHW)
+				}
+				break
+			}
+		}
 	}
 }
 

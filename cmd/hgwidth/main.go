@@ -7,7 +7,8 @@
 // Usage:
 //
 //	hgwidth [-measures hw,ghw,fhw] [-timeout 30s] [-procs n] [-no-preprocess]
-//	        [-exact] [-heuristic] [-check k] [-show] [-gml] [-stats] [file]
+//	        [-exact] [-heuristic] [-check k] [-dump-cnf out.cnf]
+//	        [-show] [-gml] [-stats] [file]
 //
 // The hypergraph is read from the file (or stdin) in any
 // corpus-supported format, auto-detected: the edge-list format
@@ -38,6 +39,7 @@ import (
 	"hypertree/internal/corpus"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/ordenc"
 	"hypertree/internal/solve"
 	"hypertree/internal/telemetry"
 )
@@ -50,6 +52,7 @@ func main() {
 	exact := flag.Bool("exact", false, "also run the exponential elimination DP directly (small inputs)")
 	heuristic := flag.Bool("heuristic", false, "also report min-fill upper bounds on ghw/fhw")
 	check := flag.String("check", "", "width k (integer or rational p/q) to run the Check procedures at")
+	dumpCNF := flag.String("dump-cnf", "", "write the sat-ord ordering encoding as DIMACS CNF to this file and exit (first -measures entry; ghw/hw bound the width at -check k, default 2)")
 	show := flag.Bool("show", false, "print the decompositions found")
 	gml := flag.Bool("gml", false, "print decompositions as GML instead of text")
 	stats := flag.Bool("stats", false, "print the per-measure solve trace (strategy timeline, engine/LP/cache counters)")
@@ -66,6 +69,13 @@ func main() {
 	}
 	if err := h.ValidateNonEmpty(); err != nil {
 		fatal(err)
+	}
+
+	if *dumpCNF != "" {
+		if err := dumpEncoding(h, *measures, *check, *dumpCNF); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// SIGINT/SIGTERM cancel the solves; partial bounds are reported.
@@ -134,6 +144,52 @@ func main() {
 		fmt.Println("(interrupted: bounds above are partial)")
 		os.Exit(130)
 	}
+}
+
+// dumpEncoding writes the sat-ord ordering encoding for the first
+// requested measure to path. hw and ghw share the weighted encoding
+// with the width bound k folded in as assumption units; fhw dumps the
+// arcs-only core (its width bound lives in the LP pricing loop, not in
+// the CNF).
+func dumpEncoding(h *hypergraph.Hypergraph, measures, check, path string) error {
+	first := strings.TrimSpace(strings.Split(measures, ",")[0])
+	m, err := solve.ParseMeasure(first)
+	if err != nil {
+		return err
+	}
+	k := 2
+	if check != "" {
+		r, ok := new(big.Rat).SetString(check)
+		if !ok || !r.IsInt() || r.Sign() <= 0 {
+			return fmt.Errorf("-dump-cnf needs a positive integer -check width, got %q", check)
+		}
+		k = int(r.Num().Int64())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if m == solve.FHW {
+		s, err := ordenc.NewFHWSearch(h, nil)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteDIMACS(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fhw ordering core to %s\n", path)
+		return f.Close()
+	}
+	s, err := ordenc.NewGHWSearch(h, k)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteDIMACS(f, k); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s<=%d ordering encoding to %s\n", m, k, path)
+	return f.Close()
 }
 
 // printResult renders one solve outcome: an exact width, a bracket, or

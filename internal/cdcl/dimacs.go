@@ -1,0 +1,129 @@
+package cdcl
+
+// dimacs.go — DIMACS CNF import/export for offline debugging: the
+// ordering encodings dumped by `hgwidth -dump-cnf` are written through
+// WriteDIMACS and can be cross-checked against external solvers;
+// ParseDIMACS loads such files back (any clause length, unlike the
+// 3SAT-only parser in internal/sat).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a DIMACS CNF file: comment lines (c …), an optional
+// problem line (p cnf V C), and zero-terminated clauses possibly
+// spanning lines. Returns the variable count (the maximum of the header
+// count and the largest literal) and the clauses.
+func ParseDIMACS(r io.Reader) (nVars int, clauses [][]Lit, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cur []Lit
+	for sc.Scan() {
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "c") || strings.HasPrefix(t, "%") {
+			continue
+		}
+		if strings.HasPrefix(t, "p") {
+			f := strings.Fields(t)
+			if len(f) != 4 || f[1] != "cnf" {
+				return 0, nil, fmt.Errorf("cdcl: bad problem line %q", t)
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n < 0 {
+				return 0, nil, fmt.Errorf("cdcl: bad variable count in %q", t)
+			}
+			if n > nVars {
+				nVars = n
+			}
+			continue
+		}
+		for _, f := range strings.Fields(t) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return 0, nil, fmt.Errorf("cdcl: bad literal %q", f)
+			}
+			if v == 0 {
+				clauses = append(clauses, cur)
+				cur = nil
+				continue
+			}
+			if av := Lit(v).Var(); av > nVars {
+				nVars = av
+			}
+			cur = append(cur, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	if len(cur) > 0 { // unterminated trailing clause
+		clauses = append(clauses, cur)
+	}
+	return nVars, clauses, nil
+}
+
+// FromDIMACS builds a solver from a DIMACS CNF stream.
+func FromDIMACS(r io.Reader) (*Solver, error) {
+	nVars, clauses, err := ParseDIMACS(r)
+	if err != nil {
+		return nil, err
+	}
+	s := New()
+	s.NewVars(nVars)
+	for _, c := range clauses {
+		s.AddClause(c...)
+	}
+	return s, nil
+}
+
+// WriteDIMACS writes the problem clauses (not learnts) in DIMACS CNF
+// form, preceded by the given comment lines. Top-level units from
+// AddClause simplification are emitted as unit clauses so the dump is
+// equisatisfiable with the live database.
+func (s *Solver) WriteDIMACS(w io.Writer, comments ...string) error {
+	return s.WriteDIMACSAssuming(w, nil, comments...)
+}
+
+// WriteDIMACSAssuming is WriteDIMACS with the given assumption literals
+// appended as unit clauses, making the dump the exact decision problem
+// Solve(assumptions...) answers.
+func (s *Solver) WriteDIMACSAssuming(w io.Writer, assumptions []Lit, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		fmt.Fprintf(bw, "c %s\n", c)
+	}
+	units := 0
+	for _, p := range s.trail {
+		if s.level[p.vr()] == 0 {
+			units++
+		} else {
+			break // trail above level 0 is search state, not database
+		}
+	}
+	if !s.ok {
+		// Level-0 UNSAT: the empty clause is the database.
+		fmt.Fprintf(bw, "p cnf %d 1\n0\n", s.nVars)
+		return bw.Flush()
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.nVars, len(s.clauses)+units+len(assumptions))
+	for _, p := range s.trail[:units] {
+		fmt.Fprintf(bw, "%d 0\n", p.lit())
+	}
+	for _, a := range assumptions {
+		fmt.Fprintf(bw, "%d 0\n", a)
+	}
+	for _, c := range s.clauses {
+		for i, p := range c.lits {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d", p.lit())
+		}
+		bw.WriteString(" 0\n")
+	}
+	return bw.Flush()
+}

@@ -356,3 +356,32 @@ func TestLoadDirNameCollision(t *testing.T) {
 		t.Fatalf("collision not disambiguated: %v", names)
 	}
 }
+
+// TestSummaryStrategyBreakdown pins the strategy-win breakdown and the
+// median k-trajectory length on a synthetic report: only exact results
+// with a recorded strategy count as wins, trajectory lengths come from
+// any result that logged one.
+func TestSummaryStrategyBreakdown(t *testing.T) {
+	rp := &Report{Measure: solve.GHW, Results: []InstanceResult{
+		{Name: "a", Exact: true, Upper: "2", Strategy: "dp", KTrajectory: []int{1, 2}},
+		{Name: "b", Exact: true, Upper: "2", Strategy: "sat-ord", KTrajectory: []int{1, 2, 3}},
+		{Name: "c", Exact: true, Upper: "3", Strategy: "sat-ord", KTrajectory: []int{1, 2, 3, 4, 5}},
+		{Name: "d", Exact: true, Upper: "1"}, // cached: no strategy, no trajectory
+		{Name: "e", Partial: true, Lower: "2", Strategy: "deepen-ghw", KTrajectory: []int{1}},
+	}}
+	s := rp.Summarize()
+	if s.StrategyWins["sat-ord"] != 2 || s.StrategyWins["dp"] != 1 || len(s.StrategyWins) != 2 {
+		t.Fatalf("strategy wins: %v", s.StrategyWins)
+	}
+	// Lengths 2, 3, 5, 1 → sorted 1 2 3 5 → median (upper) 3.
+	if s.KTrajMedian != 3 {
+		t.Fatalf("median k-trajectory length %d, want 3", s.KTrajMedian)
+	}
+	table := rp.Table()
+	if !strings.Contains(table, "strategy wins: sat-ord×2 dp×1") {
+		t.Fatalf("table missing strategy breakdown:\n%s", table)
+	}
+	if !strings.Contains(table, "median k-trajectory length: 3") {
+		t.Fatalf("table missing k-trajectory line:\n%s", table)
+	}
+}

@@ -34,11 +34,19 @@ type Summary struct {
 	BDP     int // degree ≤ 3
 	// Widths histograms exact widths by their rational string.
 	Widths map[string]int
+	// StrategyWins counts exact results by the portfolio strategy that
+	// produced them (empty strategies — cached or pre-telemetry log
+	// lines — are not counted).
+	StrategyWins map[string]int
+	// KTrajMedian is the median iterative-deepening trajectory length
+	// over results that recorded one; 0 when none did.
+	KTrajMedian int
 }
 
 // Summarize computes the aggregate statistics of the report.
 func (rp *Report) Summarize() Summary {
-	s := Summary{Widths: map[string]int{}}
+	s := Summary{Widths: map[string]int{}, StrategyWins: map[string]int{}}
+	var trajLens []int
 	for _, r := range rp.Results {
 		s.Total++
 		if r.Resumed {
@@ -63,9 +71,19 @@ func (rp *Report) Summarize() Summary {
 		if r.Exact {
 			s.Solved++
 			s.Widths[r.Upper]++
+			if r.Strategy != "" {
+				s.StrategyWins[r.Strategy]++
+			}
 		} else if r.Partial {
 			s.Partial++
 		}
+		if len(r.KTrajectory) > 0 {
+			trajLens = append(trajLens, len(r.KTrajectory))
+		}
+	}
+	if len(trajLens) > 0 {
+		sort.Ints(trajLens)
+		s.KTrajMedian = trajLens[len(trajLens)/2]
 	}
 	return s
 }
@@ -148,6 +166,27 @@ func (rp *Report) Table() string {
 			parts = append(parts, fmt.Sprintf("%s=%s×%d", rp.Measure, k, s.Widths[k]))
 		}
 		fmt.Fprintf(&b, "width profile: %s\n", strings.Join(parts, " "))
+	}
+	if len(s.StrategyWins) > 0 {
+		keys := make([]string, 0, len(s.StrategyWins))
+		for k := range s.StrategyWins {
+			keys = append(keys, k)
+		}
+		// Most wins first; ties alphabetically for stable output.
+		sort.Slice(keys, func(i, j int) bool {
+			if s.StrategyWins[keys[i]] != s.StrategyWins[keys[j]] {
+				return s.StrategyWins[keys[i]] > s.StrategyWins[keys[j]]
+			}
+			return keys[i] < keys[j]
+		})
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s×%d", k, s.StrategyWins[k]))
+		}
+		fmt.Fprintf(&b, "strategy wins: %s\n", strings.Join(parts, " "))
+	}
+	if s.KTrajMedian > 0 {
+		fmt.Fprintf(&b, "median k-trajectory length: %d\n", s.KTrajMedian)
 	}
 	return b.String()
 }

@@ -8,6 +8,7 @@ package sat
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -156,6 +157,21 @@ func ParseDIMACS(input string) (*CNF, error) {
 		return nil, fmt.Errorf("sat: no clauses")
 	}
 	return c, nil
+}
+
+// WriteDIMACS renders the formula in DIMACS CNF format. Every clause is
+// written with its three (possibly padded) literals, so
+// ParseDIMACS∘WriteDIMACS is the identity on parsed formulas.
+func (c *CNF) WriteDIMACS(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", c.NumVars, len(c.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range c.Clauses {
+		if _, err := fmt.Fprintf(w, "%d %d %d 0\n", cl[0], cl[1], cl[2]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Random3SAT returns a uniformly random 3SAT formula with n variables

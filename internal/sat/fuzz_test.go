@@ -1,0 +1,38 @@
+package sat
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS — the parser must never panic on arbitrary input, and
+// whenever it accepts, WriteDIMACS∘ParseDIMACS must be the identity on
+// the parsed formula (3SAT padding is applied exactly once).
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 3 0\n-1 2 -3 0\n")
+	f.Add("c comment\np cnf 2 1\n1 2 0\n")
+	f.Add("1 0")                    // unit clause, no problem line
+	f.Add("p cnf 5 1\n1 2 3 4 0\n") // too many literals
+	f.Add("p cnf x y\n")            // malformed problem line
+	f.Add("1 2\n-1 -2 0")           // clause spanning lines
+	f.Add("pc cnf0123456789- \n")   // old robustness-test alphabet
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseDIMACS(input)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := c.WriteDIMACS(&b); err != nil {
+			t.Fatalf("WriteDIMACS: %v", err)
+		}
+		c2, err := ParseDIMACS(b.String())
+		if err != nil {
+			t.Fatalf("reparse of emitted DIMACS failed: %v\n%s", err, b.String())
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("round trip changed the formula:\n got %+v\nwant %+v\nvia\n%s", c2, c, b.String())
+		}
+	})
+}

@@ -7,19 +7,8 @@ import (
 	"hypertree/internal/lp"
 )
 
-// TestParseDIMACSNeverPanics — random input must not panic the parser.
-func TestParseDIMACSNeverPanics(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
-	alphabet := []byte("pc cnf0123456789- \n")
-	for trial := 0; trial < 500; trial++ {
-		n := rng.Intn(60)
-		b := make([]byte, n)
-		for i := range b {
-			b[i] = alphabet[rng.Intn(len(alphabet))]
-		}
-		ParseDIMACS(string(b))
-	}
-}
+// Parser robustness lives in FuzzParseDIMACS (fuzz_test.go): never
+// panics, and round-trips through WriteDIMACS where parseable.
 
 // TestReductionInvariantsOnRandomFormulas — structural invariants of the
 // Theorem 3.2 construction over random formulas: vertex/edge counts

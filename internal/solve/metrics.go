@@ -14,6 +14,7 @@ package solve
 import (
 	"hypertree/internal/core"
 	"hypertree/internal/cover"
+	"hypertree/internal/ordenc"
 	"hypertree/internal/telemetry"
 )
 
@@ -43,6 +44,25 @@ var (
 
 	mLPSolves = telemetry.Default().NewCounterVec("hg_lp_solves_total",
 		"cover-LP solves by warm path", "path")
+
+	mSATSolves = telemetry.Default().NewCounter("hg_sat_solves_total",
+		"CDCL solver calls issued by the sat-ord strategy")
+	mSATConflicts = telemetry.Default().NewCounter("hg_sat_conflicts_total",
+		"CDCL conflicts across sat-ord solves")
+	mSATPropagations = telemetry.Default().NewCounter("hg_sat_propagations_total",
+		"CDCL unit propagations across sat-ord solves")
+	mSATLearned = telemetry.Default().NewCounter("hg_sat_learned_total",
+		"clauses learned by 1UIP conflict analysis")
+	mSATRestarts = telemetry.Default().NewCounter("hg_sat_restarts_total",
+		"CDCL Luby restarts")
+	mSATReuseHits = telemetry.Default().NewCounter("hg_sat_reuse_hits_total",
+		"incremental solver calls that started with retained learned clauses")
+	mSATBlocked = telemetry.Default().NewCounter("hg_sat_blocking_clauses_total",
+		"guarded blocking clauses installed by the fhw LP-hybrid path")
+	mSATPricedBags = telemetry.Default().NewCounter("hg_sat_priced_bags_total",
+		"decoded bags priced through the warm cover LP by the fhw path")
+	mSATRebuilds = telemetry.Default().NewCounter("hg_sat_rebuilds_total",
+		"encoder rebuilds that discarded learned clauses (kCap growth)")
 )
 
 // record publishes one completed Solve into the process-wide metrics
@@ -128,6 +148,30 @@ func flushBasis(tr *telemetry.Trace, basis *cover.BasisCache, es *core.EngineSta
 	tr.AddCounters(c)
 }
 
+// flushSAT publishes a retired sat-ord strategy run's solver aggregates
+// into the process counters and, when present, the request trace.
+func flushSAT(tr *telemetry.Trace, st ordenc.Stats) {
+	mSATSolves.Add(st.Solves)
+	mSATConflicts.Add(st.Conflicts)
+	mSATPropagations.Add(st.Propagations)
+	mSATLearned.Add(st.Learned)
+	mSATRestarts.Add(st.Restarts)
+	mSATReuseHits.Add(st.ReuseSolves)
+	mSATBlocked.Add(st.Blocked)
+	mSATPricedBags.Add(st.PricedBags)
+	mSATRebuilds.Add(st.Rebuilds)
+	if tr == nil {
+		return
+	}
+	tr.AddCounters(telemetry.Counters{
+		SATSolves: st.Solves, SATConflicts: st.Conflicts,
+		SATPropagations: st.Propagations, SATLearned: st.Learned,
+		SATRestarts: st.Restarts, SATReuseHits: st.ReuseSolves,
+		SATBlocked: st.Blocked, SATPricedBags: st.PricedBags,
+		SATRebuilds: st.Rebuilds,
+	})
+}
+
 // Snapshot is the process-wide solve telemetry aggregate: the solve and
 // cache counters above plus the engine counters internal/core maintains.
 // hgserve /healthz reports it next to the result-cache stats.
@@ -145,6 +189,12 @@ type Snapshot struct {
 
 	ResultCacheHits   int64 `json:"result_cache_hits"`
 	ResultCacheMisses int64 `json:"result_cache_misses"`
+
+	SATSolves    int64 `json:"sat_solves"`
+	SATConflicts int64 `json:"sat_conflicts"`
+	SATLearned   int64 `json:"sat_learned"`
+	SATReuseHits int64 `json:"sat_reuse_hits"`
+	SATBlocked   int64 `json:"sat_blocked"`
 }
 
 // TelemetrySnapshot reads the current process-wide solve telemetry.
@@ -161,5 +211,10 @@ func TelemetrySnapshot() Snapshot {
 		BasisEvictions:    mBasisEvictions.Value(),
 		ResultCacheHits:   mResultCacheHits.Value(),
 		ResultCacheMisses: mResultCacheMisses.Value(),
+		SATSolves:         mSATSolves.Value(),
+		SATConflicts:      mSATConflicts.Value(),
+		SATLearned:        mSATLearned.Value(),
+		SATReuseHits:      mSATReuseHits.Value(),
+		SATBlocked:        mSATBlocked.Value(),
 	}
 }

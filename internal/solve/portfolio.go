@@ -23,13 +23,19 @@ import (
 // depends on the measure and the block size:
 //
 //	hw:   clique lower bound, then Check(HD,k) iterative deepening from
-//	      the bound (success at level k after failures below is exact).
+//	      the bound (success at level k after failures below is exact);
+//	      the sat-ord-lb ordering encoding contributes ghw-based lower
+//	      bounds in parallel (ghw ≤ hw).
 //	ghw:  clique lower bound; exact elimination DP for small blocks;
 //	      min-fill GHD as a fast upper bound; Check(GHD,k)-via-BIP
-//	      iterative deepening.
+//	      iterative deepening; sat-ord incremental ordering-encoding
+//	      deepening (internal/ordenc) on blocks within its size gate.
 //	fhw:  fractional clique lower bound; exact elimination DP for small
 //	      blocks; min-fill FHD as a fast upper bound; Check(FHD,k)
-//	      deepening over integer levels for rational-width witnesses.
+//	      deepening over integer levels for rational-width witnesses;
+//	      sat-ord LP-hybrid (SAT fixes orderings, the warm LP prices
+//	      bags) which refines accepted levels down to the exact
+//	      fractional width.
 
 // blockResult carries the outcome for one block.
 type blockResult struct {
@@ -188,9 +194,13 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 		run  func()
 	}
 	var strategies []strat
+	satGate := nv > 1 && nv <= satOrdLimit(opt)
 	switch opt.Measure {
 	case HW:
 		strategies = append(strategies, strat{"detk", func() { deepenHD(bctx, bh, r, opt, maxK, tr, blk, budget) }})
+		if satGate {
+			strategies = append(strategies, strat{"sat-ord-lb", func() { deepenSATOrdHWLower(bctx, bh, r, opt, maxK, tr, blk) }})
+		}
 	case GHW:
 		if nv <= exactLimit {
 			strategies = append(strategies, strat{"exact-dp", func() {
@@ -207,6 +217,9 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 			}},
 			strat{"bip", func() { deepenGHDViaBIP(bctx, bh, r, opt, maxK, tr, blk, budget) }},
 		)
+		if satGate {
+			strategies = append(strategies, strat{"sat-ord", func() { deepenSATOrdGHW(bctx, bh, r, opt, maxK, tr, blk) }})
+		}
 	case FHW:
 		if nv <= exactLimit {
 			strategies = append(strategies, strat{"exact-dp", func() {
@@ -223,6 +236,9 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 			}},
 			strat{"fhd-check", func() { deepenFHDCheck(bctx, bh, r, opt, maxK, tr, blk, budget) }},
 		)
+		if satGate {
+			strategies = append(strategies, strat{"sat-ord", func() { deepenSATOrdFHW(bctx, bh, r, opt, maxK, tr, blk) }})
+		}
 	}
 
 	var wg sync.WaitGroup

@@ -109,6 +109,11 @@ type Options struct {
 	// hypergraph before returning (the property tests always do; the
 	// server does on /decompose).
 	Validate bool
+	// SATOrdLimit gates the ordering-based SAT strategy by block vertex
+	// count: blocks larger than the limit skip it (the encoding is
+	// Θ(n³) clauses). 0 applies the default (64); negative disables the
+	// strategy entirely.
+	SATOrdLimit int
 }
 
 // PreStats reports what the preprocessing pipeline did.

@@ -85,6 +85,16 @@ type Counters struct {
 
 	ResultCacheHits   int64 `json:"result_cache_hits,omitempty"`
 	ResultCacheMisses int64 `json:"result_cache_misses,omitempty"`
+
+	SATSolves       int64 `json:"sat_solves,omitempty"`
+	SATConflicts    int64 `json:"sat_conflicts,omitempty"`
+	SATPropagations int64 `json:"sat_propagations,omitempty"`
+	SATLearned      int64 `json:"sat_learned,omitempty"`
+	SATRestarts     int64 `json:"sat_restarts,omitempty"`
+	SATReuseHits    int64 `json:"sat_reuse_hits,omitempty"`
+	SATBlocked      int64 `json:"sat_blocked,omitempty"`
+	SATPricedBags   int64 `json:"sat_priced_bags,omitempty"`
+	SATRebuilds     int64 `json:"sat_rebuilds,omitempty"`
 }
 
 // add accumulates o into c.
@@ -106,6 +116,15 @@ func (c *Counters) add(o Counters) {
 	c.BasisEvictions += o.BasisEvictions
 	c.ResultCacheHits += o.ResultCacheHits
 	c.ResultCacheMisses += o.ResultCacheMisses
+	c.SATSolves += o.SATSolves
+	c.SATConflicts += o.SATConflicts
+	c.SATPropagations += o.SATPropagations
+	c.SATLearned += o.SATLearned
+	c.SATRestarts += o.SATRestarts
+	c.SATReuseHits += o.SATReuseHits
+	c.SATBlocked += o.SATBlocked
+	c.SATPricedBags += o.SATPricedBags
+	c.SATRebuilds += o.SATRebuilds
 }
 
 // Trace is one request's event log. Construct with NewTrace (or
