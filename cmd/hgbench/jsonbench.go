@@ -15,6 +15,7 @@ package main
 // deepening on the same mid-size grids.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"testing"
 	"time"
 
+	"hypertree/internal/approx"
 	"hypertree/internal/core"
 	"hypertree/internal/cover"
 	"hypertree/internal/hypergraph"
@@ -116,6 +118,9 @@ func jsonBenchSet() []struct {
 		{"GHWDeepen/grid4x6/engine", func(b *testing.B) { benchEngineDeepen(b, 4, 6) }},
 		{"GHWDeepen/grid4x7/sat-ord", func(b *testing.B) { benchSATOrdDeepen(b, 4, 7) }},
 		{"GHWDeepen/grid4x7/engine", func(b *testing.B) { benchEngineDeepen(b, 4, 7) }},
+		{"ApproxLadder/grid4x5/logn", func(b *testing.B) { benchApproxLadder(b, false) }},
+		{"ApproxLadder/grid4x5/logn+improve", func(b *testing.B) { benchApproxLadder(b, true) }},
+		{"ApproxLadder/grid4x5/minfill+improve", benchApproxImproveMinFill},
 	}
 }
 
@@ -233,6 +238,42 @@ func benchFHDDeepen(b *testing.B, shared bool) {
 		}
 		if !accepted {
 			b.Fatal("grid 2x3 must reject at 1 and accept at 2")
+		}
+	}
+}
+
+// benchApproxLadder — PR 10: the anytime approximation ladder on a
+// mid-size grid. The logn leg is the recursive balanced-separator
+// construction alone; logn+improve chains the local-improvement passes
+// the portfolio runs on every incumbent.
+func benchApproxLadder(b *testing.B, improve bool) {
+	g := hypergraph.Grid(4, 5)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		d, _, err := approx.LogN(ctx, g, approx.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if improve {
+			if _, _, err := approx.Improve(ctx, g, d, approx.ImproveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchApproxImproveMinFill measures the improvement passes over the
+// min-fill incumbent — the portfolio's minfill → local-improve chain.
+func benchApproxImproveMinFill(b *testing.B) {
+	g := hypergraph.Grid(4, 5)
+	_, d := core.MinFillFHD(g)
+	if d == nil {
+		b.Fatal("min-fill failed")
+	}
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := approx.Improve(ctx, g, d, approx.ImproveOptions{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

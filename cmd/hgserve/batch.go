@@ -160,17 +160,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.served.Add(1)
 			line.widthResponse = &widthResponse{
-				Measure:   res.Measure,
-				Vertices:  res.Vertices,
-				Edges:     res.Edges,
-				Lower:     res.Lower,
-				Upper:     res.Upper,
-				Exact:     res.Exact,
-				Partial:   res.Partial,
-				Cached:    res.Cached,
-				Strategy:  res.Strategy,
-				Blocks:    res.Blocks,
-				ElapsedMS: res.ElapsedMS,
+				Measure:    res.Measure,
+				Vertices:   res.Vertices,
+				Edges:      res.Edges,
+				Lower:      res.Lower,
+				Upper:      res.Upper,
+				Exact:      res.Exact && res.Upper != "",
+				Partial:    res.Partial,
+				Cached:     res.Cached,
+				Strategy:   res.Strategy,
+				Provenance: res.Provenance,
+				Blocks:     res.Blocks,
+				ElapsedMS:  res.ElapsedMS,
 			}
 		}
 		writeLine(line)

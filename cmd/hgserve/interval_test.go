@@ -1,0 +1,95 @@
+package main
+
+// Regression tests for the hardened interval contract on the HTTP
+// surface: tiny budgets still produce full [lower, upper] responses
+// with provenance, /decompose returns a witness under pressure instead
+// of 504, and no response ever reads as exact without being so.
+
+import (
+	"math/big"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// grid6 is a 6×6 grid as an edge list — hard enough that a 1ms budget
+// cannot finish any exact strategy.
+func grid6() string {
+	var b strings.Builder
+	e := 0
+	v := func(r, c int) string {
+		return string(rune('a'+r)) + string(rune('a'+c))
+	}
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			if c+1 < 6 {
+				b.WriteString(edgeName(&e) + "(" + v(r, c) + "," + v(r, c+1) + "), ")
+			}
+			if r+1 < 6 {
+				b.WriteString(edgeName(&e) + "(" + v(r, c) + "," + v(r+1, c) + "), ")
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), ", ")
+}
+
+func edgeName(e *int) string {
+	*e++
+	return "e" + string(rune('0'+*e/100%10)) + string(rune('0'+*e/10%10)) + string(rune('0'+*e%10))
+}
+
+// TestWidthIntervalUnderTinyBudget: /width under a 1ms budget returns
+// 200 with a full bracket, provenance, and no exactness claim.
+func TestWidthIntervalUnderTinyBudget(t *testing.T) {
+	ts := testServer(t)
+	for _, m := range []string{"hw", "ghw", "fhw"} {
+		resp, wr := post(t, ts, "/width", widthRequest{
+			Hypergraph: grid6(), Measure: m, TimeoutMS: 1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", m, resp.StatusCode)
+		}
+		if wr.Upper == "" || wr.Lower == "" {
+			t.Fatalf("%s: interval-less response: %+v", m, wr)
+		}
+		if wr.Provenance == "" {
+			t.Fatalf("%s: missing provenance: %+v", m, wr)
+		}
+		if !wr.Exact && wr.Provenance == "exact" {
+			t.Fatalf("%s: inexact response claims exact provenance: %+v", m, wr)
+		}
+		lo, ok1 := new(big.Rat).SetString(wr.Lower)
+		hi, ok2 := new(big.Rat).SetString(wr.Upper)
+		if !ok1 || !ok2 || lo.Cmp(hi) > 0 {
+			t.Fatalf("%s: bad interval [%s, %s]", m, wr.Lower, wr.Upper)
+		}
+	}
+}
+
+// TestDecomposeUnderTinyBudget: even with a 1ms budget /decompose
+// serves the incumbent witness (200), never the old 504 no-witness
+// degradation.
+func TestDecomposeUnderTinyBudget(t *testing.T) {
+	ts := testServer(t)
+	resp, wr := post(t, ts, "/decompose", widthRequest{
+		Hypergraph: grid6(), Measure: "fhw", TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with incumbent witness", resp.StatusCode)
+	}
+	if wr.Decomposition == "" || wr.Upper == "" {
+		t.Fatalf("missing witness under pressure: %+v", wr)
+	}
+}
+
+// TestWidthProvenanceExact: an easy exact request reports provenance
+// "exact".
+func TestWidthProvenanceExact(t *testing.T) {
+	ts := testServer(t)
+	_, wr := post(t, ts, "/width", widthRequest{
+		Hypergraph: "e1(a,b), e2(b,c), e3(c,a)", Measure: "ghw",
+	})
+	if !wr.Exact || wr.Provenance != "exact" {
+		t.Fatalf("exact solve provenance: %+v", wr)
+	}
+}

@@ -218,17 +218,20 @@ type widthRequest struct {
 
 // widthResponse is the JSON answer.
 type widthResponse struct {
-	Measure   string `json:"measure"`
-	Vertices  int    `json:"vertices"`
-	Edges     int    `json:"edges"`
-	Lower     string `json:"lower"`
-	Upper     string `json:"upper,omitempty"`
-	Exact     bool   `json:"exact"`
-	Partial   bool   `json:"partial,omitempty"`
-	Cached    bool   `json:"cached,omitempty"`
-	Strategy  string `json:"strategy,omitempty"`
-	Blocks    int    `json:"blocks"`
-	ElapsedMS int64  `json:"elapsed_ms"`
+	Measure  string `json:"measure"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Lower    string `json:"lower"`
+	Upper    string `json:"upper,omitempty"`
+	Exact    bool   `json:"exact"`
+	Partial  bool   `json:"partial,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	// Provenance classifies the guarantee behind Upper: "exact",
+	// "approx-certified" or "heuristic".
+	Provenance string `json:"provenance,omitempty"`
+	Blocks     int    `json:"blocks"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
 
 	Kind          string `json:"kind,omitempty"`
 	Decomposition string `json:"decomposition,omitempty"`
@@ -322,19 +325,26 @@ func (s *server) handleSolve(withWitness bool) http.HandlerFunc {
 		s.served.Add(1)
 
 		resp := widthResponse{
-			Measure:   measure.String(),
-			Vertices:  h.NumVertices(),
-			Edges:     h.NumEdges(),
-			Lower:     res.Lower.RatString(),
-			Exact:     res.Exact,
-			Partial:   res.Partial,
-			Cached:    res.FromCache,
-			Strategy:  res.Strategy,
-			Blocks:    res.Pre.Blocks,
-			ElapsedMS: res.Elapsed.Milliseconds(),
+			Measure:    measure.String(),
+			Vertices:   h.NumVertices(),
+			Edges:      h.NumEdges(),
+			Exact:      res.Exact,
+			Partial:    res.Partial,
+			Cached:     res.FromCache,
+			Strategy:   res.Strategy,
+			Provenance: string(res.Provenance),
+			Blocks:     res.Pre.Blocks,
+			ElapsedMS:  res.Elapsed.Milliseconds(),
+		}
+		if res.Lower != nil {
+			resp.Lower = res.Lower.RatString()
 		}
 		if res.Upper != nil {
 			resp.Upper = res.Upper.RatString()
+		}
+		// Exactness must never be reported without the width it claims.
+		if res.Upper == nil {
+			resp.Exact = false
 		}
 		if tr != nil {
 			sum := tr.Summary()
@@ -347,9 +357,16 @@ func (s *server) handleSolve(withWitness bool) http.HandlerFunc {
 		}
 		if withWitness {
 			if res.Witness == nil {
+				// Unreachable under the hardened interval contract (every
+				// solve carries at least the trivial witness); kept for
+				// defense in depth, with nil-safe bound rendering.
+				upper := resp.Upper
+				if upper == "" {
+					upper = "∞"
+				}
 				writeJSON(w, http.StatusGatewayTimeout, errorResponse{
 					fmt.Sprintf("no witness within budget (bounds [%s, %s])",
-						resp.Lower, resp.Upper)})
+						resp.Lower, upper)})
 				return
 			}
 			resp.Kind = measure.Kind().String()

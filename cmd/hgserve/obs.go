@@ -56,17 +56,18 @@ func registerPprof(mux *http.ServeMux) {
 // solve outcome, and the trace summary boiled down to its counters and
 // per-strategy deepening trajectory.
 type accessRecord struct {
-	Time      string `json:"time"`
-	Route     string `json:"route"`
-	Remote    string `json:"remote"`
-	Measure   string `json:"measure"`
-	ElapsedMS int64  `json:"elapsed_ms"`
-	Cached    bool   `json:"cached,omitempty"`
-	Exact     bool   `json:"exact,omitempty"`
-	Partial   bool   `json:"partial,omitempty"`
-	Strategy  string `json:"strategy,omitempty"`
-	Lower     string `json:"lower,omitempty"`
-	Upper     string `json:"upper,omitempty"`
+	Time       string `json:"time"`
+	Route      string `json:"route"`
+	Remote     string `json:"remote"`
+	Measure    string `json:"measure"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+	Cached     bool   `json:"cached,omitempty"`
+	Exact      bool   `json:"exact,omitempty"`
+	Partial    bool   `json:"partial,omitempty"`
+	Strategy   string `json:"strategy,omitempty"`
+	Provenance string `json:"provenance,omitempty"`
+	Lower      string `json:"lower,omitempty"`
+	Upper      string `json:"upper,omitempty"`
 
 	KTrajectory []int               `json:"k_trajectory,omitempty"`
 	Counters    *telemetry.Counters `json:"counters,omitempty"`
@@ -81,15 +82,16 @@ var accessMu sync.Mutex
 // logAccess writes one JSON line for a solved request to stderr.
 func (s *server) logAccess(r *http.Request, measure string, res *solve.Result, sum *telemetry.Summary) {
 	rec := accessRecord{
-		Time:      time.Now().UTC().Format(time.RFC3339Nano),
-		Route:     r.URL.Path,
-		Remote:    r.RemoteAddr,
-		Measure:   measure,
-		ElapsedMS: res.Elapsed.Milliseconds(),
-		Cached:    res.FromCache,
-		Exact:     res.Exact,
-		Partial:   res.Partial,
-		Strategy:  res.Strategy,
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		Route:      r.URL.Path,
+		Remote:     r.RemoteAddr,
+		Measure:    measure,
+		ElapsedMS:  res.Elapsed.Milliseconds(),
+		Cached:     res.FromCache,
+		Exact:      res.Exact,
+		Partial:    res.Partial,
+		Strategy:   res.Strategy,
+		Provenance: string(res.Provenance),
 	}
 	if res.Lower != nil {
 		rec.Lower = res.Lower.RatString()

@@ -110,7 +110,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		printResult(m, r)
+		printResult(os.Stdout, m, r)
 		if tr != nil {
 			tr.Summary().WriteText(os.Stdout)
 		}
@@ -193,8 +193,11 @@ func dumpEncoding(h *hypergraph.Hypergraph, measures, check, path string) error 
 }
 
 // printResult renders one solve outcome: an exact width, a bracket, or
-// a lone lower bound.
-func printResult(m solve.Measure, r *solve.Result) {
+// a lone lower bound. It must not trust any field combination — a
+// result degraded by deadlines can in principle carry any subset of the
+// interval — so exactness is only printed when an Upper backs it, and a
+// nil Lower (impossible today, cheap to guard) falls back to 0.
+func printResult(w io.Writer, m solve.Measure, r *solve.Result) {
 	state := func() string {
 		var tags []string
 		if r.Partial {
@@ -202,6 +205,9 @@ func printResult(m solve.Measure, r *solve.Result) {
 		}
 		if r.FromCache {
 			tags = append(tags, "cached")
+		}
+		if !r.Exact && r.Provenance != "" {
+			tags = append(tags, string(r.Provenance))
 		}
 		if r.Strategy != "" {
 			tags = append(tags, r.Strategy)
@@ -211,14 +217,18 @@ func printResult(m solve.Measure, r *solve.Result) {
 		}
 		return strings.Join(tags, ", ")
 	}
+	lower := "0"
+	if r.Lower != nil {
+		lower = r.Lower.RatString()
+	}
 	switch {
-	case r.Exact:
-		fmt.Printf("%-3s = %-8s (%s, %v)\n", m, r.Upper.RatString(), state(), r.Elapsed.Round(time.Millisecond))
+	case r.Exact && r.Upper != nil:
+		fmt.Fprintf(w, "%-3s = %-8s (%s, %v)\n", m, r.Upper.RatString(), state(), r.Elapsed.Round(time.Millisecond))
 	case r.Upper != nil:
-		fmt.Printf("%-3s ∈ [%s, %s] (%s, %v)\n", m, r.Lower.RatString(), r.Upper.RatString(),
+		fmt.Fprintf(w, "%-3s ∈ [%s, %s] (%s, %v)\n", m, lower, r.Upper.RatString(),
 			state(), r.Elapsed.Round(time.Millisecond))
 	default:
-		fmt.Printf("%-3s ≥ %-8s (%s, %v)\n", m, r.Lower.RatString(), state(), r.Elapsed.Round(time.Millisecond))
+		fmt.Fprintf(w, "%-3s ≥ %-8s (%s, %v)\n", m, lower, state(), r.Elapsed.Round(time.Millisecond))
 	}
 }
 

@@ -1,0 +1,25 @@
+package approx
+
+// White-box tests for unexported helpers. The differential suite lives
+// in approx_test.go as an external package (it needs internal/corpus,
+// which transitively imports this package).
+
+import (
+	"testing"
+
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/lp"
+)
+
+// TestGuaranteedCover: the ancestor-trace cover backs the certificate
+// even when pricing is skipped.
+func TestGuaranteedCover(t *testing.T) {
+	h := hypergraph.Path(4)
+	bag := hypergraph.SetOf(0, 1, 2)
+	if cov := guaranteedCover(h, bag, []int{0, 1}); cov == nil || cov.Weight().Cmp(lp.RI(2)) != 0 {
+		t.Fatalf("guaranteed cover = %v", cov)
+	}
+	if cov := guaranteedCover(h, bag, []int{0}); cov != nil {
+		t.Fatalf("expected nil for non-covering trace, got %v", cov)
+	}
+}

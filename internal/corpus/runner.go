@@ -54,22 +54,26 @@ func Fingerprint(h *hypergraph.Hypergraph) string {
 
 // InstanceResult is one line of the runner's JSONL results log.
 type InstanceResult struct {
-	Name        string  `json:"name"`
-	Fingerprint string  `json:"fingerprint,omitempty"`
-	Format      string  `json:"format,omitempty"`
-	Vertices    int     `json:"vertices,omitempty"`
-	Edges       int     `json:"edges,omitempty"`
-	Measure     string  `json:"measure,omitempty"`
-	Lower       string  `json:"lower,omitempty"`
-	Upper       string  `json:"upper,omitempty"`
-	Exact       bool    `json:"exact,omitempty"`
-	Partial     bool    `json:"partial,omitempty"`
-	Cached      bool    `json:"cached,omitempty"`
-	Strategy    string  `json:"strategy,omitempty"`
-	Blocks      int     `json:"blocks,omitempty"`
-	ElapsedMS   int64   `json:"elapsed_ms"`
-	Err         string  `json:"error,omitempty"`
-	Classes     Classes `json:"classes"`
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Format      string `json:"format,omitempty"`
+	Vertices    int    `json:"vertices,omitempty"`
+	Edges       int    `json:"edges,omitempty"`
+	Measure     string `json:"measure,omitempty"`
+	Lower       string `json:"lower,omitempty"`
+	Upper       string `json:"upper,omitempty"`
+	Exact       bool   `json:"exact,omitempty"`
+	Partial     bool   `json:"partial,omitempty"`
+	Cached      bool   `json:"cached,omitempty"`
+	Strategy    string `json:"strategy,omitempty"`
+	// Provenance classifies the guarantee behind Upper ("exact",
+	// "approx-certified" or "heuristic"); see CORPUS.md. Absent only on
+	// error lines and pre-interval-contract logs.
+	Provenance string  `json:"provenance,omitempty"`
+	Blocks     int     `json:"blocks,omitempty"`
+	ElapsedMS  int64   `json:"elapsed_ms"`
+	Err        string  `json:"error,omitempty"`
+	Classes    Classes `json:"classes"`
 	// KTrajectory is the winning strategy's iterative-deepening levels
 	// and Telemetry the solve's counter snapshot (engine/LP/cache work
 	// this instance incurred), both from the per-request trace. Absent
@@ -217,7 +221,9 @@ func solveOne(ctx context.Context, solver *solve.Solver, it Loaded, opt RunOptio
 		r.Err = err.Error()
 		return r
 	}
-	r.Lower = res.Lower.RatString()
+	if res.Lower != nil {
+		r.Lower = res.Lower.RatString()
+	}
 	if res.Upper != nil {
 		r.Upper = res.Upper.RatString()
 	}
@@ -225,6 +231,7 @@ func solveOne(ctx context.Context, solver *solve.Solver, it Loaded, opt RunOptio
 	r.Partial = res.Partial
 	r.Cached = res.FromCache
 	r.Strategy = res.Strategy
+	r.Provenance = string(res.Provenance)
 	r.Blocks = res.Pre.Blocks
 	if sum := tr.Summary(); !res.FromCache {
 		r.KTrajectory = sum.KTrajectory(res.Strategy)

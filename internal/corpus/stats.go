@@ -38,6 +38,14 @@ type Summary struct {
 	// produced them (empty strategies — cached or pre-telemetry log
 	// lines — are not counted).
 	StrategyWins map[string]int
+	// Provenance counts error-free results by upper-bound guarantee
+	// class ("exact", "approx-certified", "heuristic"); records from
+	// pre-interval-contract logs land under "".
+	Provenance map[string]int
+	// IntervalLess counts error-free records with no upper bound — the
+	// hardened interval contract guarantees zero on fresh runs; old logs
+	// may still carry some.
+	IntervalLess int
 	// KTrajMedian is the median iterative-deepening trajectory length
 	// over results that recorded one; 0 when none did.
 	KTrajMedian int
@@ -45,7 +53,7 @@ type Summary struct {
 
 // Summarize computes the aggregate statistics of the report.
 func (rp *Report) Summarize() Summary {
-	s := Summary{Widths: map[string]int{}, StrategyWins: map[string]int{}}
+	s := Summary{Widths: map[string]int{}, StrategyWins: map[string]int{}, Provenance: map[string]int{}}
 	var trajLens []int
 	for _, r := range rp.Results {
 		s.Total++
@@ -67,6 +75,10 @@ func (rp *Report) Summarize() Summary {
 		}
 		if r.Classes.BDP {
 			s.BDP++
+		}
+		s.Provenance[r.Provenance]++
+		if r.Upper == "" {
+			s.IntervalLess++
 		}
 		if r.Exact {
 			s.Solved++
@@ -184,6 +196,20 @@ func (rp *Report) Table() string {
 			parts = append(parts, fmt.Sprintf("%s×%d", k, s.StrategyWins[k]))
 		}
 		fmt.Fprintf(&b, "strategy wins: %s\n", strings.Join(parts, " "))
+	}
+	if len(s.Provenance) > 0 {
+		var parts []string
+		for k, n := range s.Provenance {
+			if k == "" {
+				k = "unknown"
+			}
+			parts = append(parts, fmt.Sprintf("%s×%d", k, n))
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&b, "provenance: %s\n", strings.Join(parts, " "))
+	}
+	if s.IntervalLess > 0 {
+		fmt.Fprintf(&b, "WARNING: %d records carry no upper bound (pre-interval-contract log?)\n", s.IntervalLess)
 	}
 	if s.KTrajMedian > 0 {
 		fmt.Fprintf(&b, "median k-trajectory length: %d\n", s.KTrajMedian)

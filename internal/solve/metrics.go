@@ -63,6 +63,24 @@ var (
 		"decoded bags priced through the warm cover LP by the fhw path")
 	mSATRebuilds = telemetry.Default().NewCounter("hg_sat_rebuilds_total",
 		"encoder rebuilds that discarded learned clauses (kCap growth)")
+
+	mStrategyErrors = telemetry.Default().NewCounterVec("hg_solve_strategy_errors_total",
+		"portfolio strategy runs that failed with a real (non-budget) error", "strategy")
+	mStrategyCanceled = telemetry.Default().NewCounterVec("hg_solve_strategy_canceled_total",
+		"portfolio strategy runs cut short by deadline or cancellation", "strategy")
+	mProvenance = telemetry.Default().NewCounterVec("hg_solve_provenance_total",
+		"computed solves by upper-bound provenance", "provenance")
+
+	mApproxRuns = telemetry.Default().NewCounterVec("hg_approx_runs_total",
+		"approximation-ladder strategy runs, per rung", "rung")
+	mApproxWitnesses = telemetry.Default().NewCounterVec("hg_approx_witnesses_total",
+		"ladder runs that produced a decomposition, per rung", "rung")
+	mApproxSepRetries = telemetry.Default().NewCounter("hg_approx_sep_retries_total",
+		"separator budget doublings across approx-logn runs")
+	mApproxImprovePasses = telemetry.Default().NewCounter("hg_approx_improve_passes_total",
+		"local-improvement passes over incumbent decompositions")
+	mApproxImproved = telemetry.Default().NewCounter("hg_approx_improved_total",
+		"improvement passes that strictly tightened the incumbent width")
 )
 
 // record publishes one completed Solve into the process-wide metrics
@@ -93,6 +111,9 @@ func (s *Solver) record(tr *telemetry.Trace, res *Result, err error) {
 	}
 	if res.Strategy != "" {
 		mWins.With(res.Strategy).Inc()
+	}
+	if res.Provenance != "" {
+		mProvenance.With(string(res.Provenance)).Inc()
 	}
 	if tr != nil && s.cache != nil {
 		tr.Eventf("cache", "miss")
@@ -195,6 +216,16 @@ type Snapshot struct {
 	SATLearned   int64 `json:"sat_learned"`
 	SATReuseHits int64 `json:"sat_reuse_hits"`
 	SATBlocked   int64 `json:"sat_blocked"`
+
+	Provenance       map[string]int64 `json:"provenance,omitempty"`
+	StrategyErrors   map[string]int64 `json:"strategy_errors,omitempty"`
+	StrategyCanceled map[string]int64 `json:"strategy_canceled,omitempty"`
+
+	ApproxRuns          map[string]int64 `json:"approx_runs,omitempty"`
+	ApproxWitnesses     map[string]int64 `json:"approx_witnesses,omitempty"`
+	ApproxSepRetries    int64            `json:"approx_sep_retries"`
+	ApproxImprovePasses int64            `json:"approx_improve_passes"`
+	ApproxImproved      int64            `json:"approx_improved"`
 }
 
 // TelemetrySnapshot reads the current process-wide solve telemetry.
@@ -216,5 +247,15 @@ func TelemetrySnapshot() Snapshot {
 		SATLearned:        mSATLearned.Value(),
 		SATReuseHits:      mSATReuseHits.Value(),
 		SATBlocked:        mSATBlocked.Value(),
+
+		Provenance:       mProvenance.Values(),
+		StrategyErrors:   mStrategyErrors.Values(),
+		StrategyCanceled: mStrategyCanceled.Values(),
+
+		ApproxRuns:          mApproxRuns.Values(),
+		ApproxWitnesses:     mApproxWitnesses.Values(),
+		ApproxSepRetries:    mApproxSepRetries.Value(),
+		ApproxImprovePasses: mApproxImprovePasses.Value(),
+		ApproxImproved:      mApproxImproved.Value(),
 	}
 }

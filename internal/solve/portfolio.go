@@ -45,6 +45,7 @@ type blockResult struct {
 	exact    bool
 	partial  bool // the budget expired before exactness
 	strategy string
+	prov     Provenance // guarantee class of the incumbent witness
 }
 
 // race is the shared incumbent state of one block's strategy race.
@@ -67,8 +68,9 @@ func (r *race) raiseLower(lb *big.Rat, strategy string) {
 	r.closeIfMet(strategy)
 }
 
-// offerUpper publishes a witness of the given width.
-func (r *race) offerUpper(w *big.Rat, d *decomp.Decomp, strategy string) {
+// offerUpper publishes a witness of the given width with the guarantee
+// class of the strategy that produced it.
+func (r *race) offerUpper(w *big.Rat, d *decomp.Decomp, strategy string, prov Provenance) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.res.exact {
@@ -76,6 +78,7 @@ func (r *race) offerUpper(w *big.Rat, d *decomp.Decomp, strategy string) {
 	}
 	if r.res.upper == nil || w.Cmp(r.res.upper) < 0 {
 		r.res.upper, r.res.witness, r.res.strategy = w, d, strategy
+		r.res.prov = prov
 	}
 	r.closeIfMet(strategy)
 }
@@ -89,6 +92,7 @@ func (r *race) offerExact(w *big.Rat, d *decomp.Decomp, strategy string) {
 	}
 	r.res.lower, r.res.upper, r.res.witness = w, w, d
 	r.res.exact, r.res.strategy = true, strategy
+	r.res.prov = ProvExact
 	r.cancel()
 }
 
@@ -99,6 +103,7 @@ func (r *race) closeIfMet(strategy string) {
 	}
 	if r.res.lower.Cmp(r.res.upper) >= 0 {
 		r.res.exact = true
+		r.res.prov = ProvExact
 		if r.res.strategy == "" {
 			r.res.strategy = strategy
 		}
@@ -180,6 +185,15 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 		}
 	}
 
+	// The interval contract's floor: a single-bag witness under a
+	// greedy cover, computed synchronously before any budget check so
+	// even a ~1ms deadline (or an already-dead context) leaves the
+	// block with a finite certified upper bound. One greedy sweep is
+	// O(|E|·|V|) — cheap enough to be uncancellable.
+	if d := trivialDecomp(bh, opt.Measure); d != nil {
+		r.offerUpper(d.Width(), d, "trivial-ub", ProvHeuristic)
+	}
+
 	maxK := opt.MaxK
 	if maxK <= 0 {
 		maxK = bh.NumEdges()
@@ -211,10 +225,18 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 		}
 		strategies = append(strategies,
 			strat{"minfill", func() {
-				if w, d, err := core.MinFillGHDCtx(bctx, bh); err == nil && d != nil {
-					r.offerUpper(lp.RI(int64(w)), d, "minfill")
+				w, d, err := core.MinFillGHDCtx(bctx, bh)
+				switch {
+				case err != nil:
+					strategyFailure(bctx, tr, blk, "minfill", err)
+				case d == nil:
+					strategyFailure(bctx, tr, blk, "minfill", errMinFillCover)
+				default:
+					r.offerUpper(lp.RI(int64(w)), d, "minfill", ProvHeuristic)
+					improveWitness(bctx, bh, r, d, ProvHeuristic, opt, tr, blk)
 				}
 			}},
+			strat{"approx-logn", func() { runApproxLogN(bctx, bh, r, opt, tr, blk) }},
 			strat{"bip", func() { deepenGHDViaBIP(bctx, bh, r, opt, maxK, tr, blk, budget) }},
 		)
 		if satGate {
@@ -230,10 +252,18 @@ func solveBlock(ctx context.Context, bh *hypergraph.Hypergraph, opt Options, blk
 		}
 		strategies = append(strategies,
 			strat{"minfill", func() {
-				if w, d, err := core.MinFillFHDCtx(bctx, bh); err == nil && d != nil {
-					r.offerUpper(w, d, "minfill")
+				w, d, err := core.MinFillFHDCtx(bctx, bh)
+				switch {
+				case err != nil:
+					strategyFailure(bctx, tr, blk, "minfill", err)
+				case d == nil:
+					strategyFailure(bctx, tr, blk, "minfill", errMinFillCover)
+				default:
+					r.offerUpper(w, d, "minfill", ProvHeuristic)
+					improveWitness(bctx, bh, r, d, ProvHeuristic, opt, tr, blk)
 				}
 			}},
+			strat{"approx-logn", func() { runApproxLogN(bctx, bh, r, opt, tr, blk) }},
 			strat{"fhd-check", func() { deepenFHDCheck(bctx, bh, r, opt, maxK, tr, blk, budget) }},
 		)
 		if satGate {
@@ -350,7 +380,7 @@ func deepenFHDCheck(ctx context.Context, bh *hypergraph.Hypergraph, r *race, opt
 			return // context done or closure cap exceeded
 		}
 		if d != nil {
-			r.offerUpper(d.Width(), d, "fhd-check")
+			r.offerUpper(d.Width(), d, "fhd-check", ProvHeuristic)
 			return
 		}
 		if r.upperBelow(k) {

@@ -129,7 +129,7 @@ func deepenSATOrdFHW(ctx context.Context, bh *hypergraph.Hypergraph, r *race, op
 			r.raiseLower(lp.RI(int64(k)), "sat-ord")
 			continue
 		}
-		r.offerUpper(w, d, "sat-ord")
+		r.offerUpper(w, d, "sat-ord", ProvHeuristic)
 		// Exactness sweep: tighten until no ordering beats w.
 		for {
 			d2, w2, err := s.RefineBelow(done, w)
@@ -141,7 +141,7 @@ func deepenSATOrdFHW(ctx context.Context, bh *hypergraph.Hypergraph, r *race, op
 				return
 			}
 			d, w = d2, w2
-			r.offerUpper(w, d, "sat-ord")
+			r.offerUpper(w, d, "sat-ord", ProvHeuristic)
 		}
 	}
 }

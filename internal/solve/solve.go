@@ -116,6 +116,49 @@ type Options struct {
 	SATOrdLimit int
 }
 
+// Provenance classifies the guarantee behind a result's upper bound —
+// the interval contract's third field next to [Lower, Upper]. Lower
+// bounds are always proofs (clique bounds, rejected deepening levels,
+// UNSAT sweeps) regardless of provenance.
+type Provenance string
+
+// The provenance ladder, strongest first.
+const (
+	// ProvExact: Lower == Upper with a witness attaining it.
+	ProvExact Provenance = "exact"
+	// ProvApproxCertified: the witness came from an approximation
+	// strategy with a published guarantee shape and a per-run
+	// structural certificate (internal/approx LogN, or improvement
+	// passes over such a witness).
+	ProvApproxCertified Provenance = "approx-certified"
+	// ProvHeuristic: the witness is sound (it validates) but carries no
+	// a-priori quality guarantee (min-fill, trivial single-bag covers,
+	// unproven deepening acceptances).
+	ProvHeuristic Provenance = "heuristic"
+)
+
+// provRank orders provenances by guarantee strength.
+func provRank(p Provenance) int {
+	switch p {
+	case ProvExact:
+		return 2
+	case ProvApproxCertified:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// weakerProv returns the weaker of two provenances — the merge rule
+// across blocks: an interval is only as certified as its least
+// certified piece.
+func weakerProv(a, b Provenance) Provenance {
+	if provRank(b) < provRank(a) {
+		return b
+	}
+	return a
+}
+
 // PreStats reports what the preprocessing pipeline did.
 type PreStats struct {
 	IsolatedVertices int // vertices occurring in no edge
@@ -139,6 +182,10 @@ type Result struct {
 	// Strategy names the portfolio strategy that produced the witness
 	// of the widest block.
 	Strategy string
+	// Provenance classifies the guarantee behind Upper: ProvExact,
+	// ProvApproxCertified or ProvHeuristic (weakest across blocks).
+	// Empty only in the no-witness degenerate case (Upper == nil).
+	Provenance Provenance
 	// Partial reports that the deadline or cancellation cut the search
 	// short; Lower/Upper still hold whatever was proven.
 	Partial bool
@@ -391,18 +438,12 @@ func (s *Solver) solve(ctx context.Context, h *hypergraph.Hypergraph, opt Option
 	if len(p.blocks) == 0 {
 		// No non-empty edges: every width measure is 0 by convention.
 		res.Lower, res.Upper, res.Exact = new(big.Rat), new(big.Rat), true
-		res.Strategy = "trivial"
+		res.Strategy, res.Provenance = "trivial", ProvExact
 		return res, nil
 	}
 
 	// Extract each block as a compact standalone instance and fan the
 	// portfolio out over the worker pool.
-	type piece struct {
-		bh   *hypergraph.Hypergraph
-		vmap []int
-		emap []int
-		out  blockResult
-	}
 	pieces := make([]piece, len(p.blocks))
 	for i, es := range p.blocks {
 		pieces[i].bh, pieces[i].vmap, pieces[i].emap = h.ExtractEdges(es)
@@ -431,12 +472,33 @@ func (s *Solver) solve(ctx context.Context, h *hypergraph.Hypergraph, opt Option
 	}
 	wg.Wait()
 
-	// Merge: the width of the whole is the maximum over blocks, so the
-	// max of the lower bounds is a lower bound and, once every block
-	// has a witness, the max of the upper bounds is attained by the
-	// stitched decomposition.
+	if err := mergeBlocks(res, h, pieces, opt); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// piece is one extracted block with its portfolio outcome.
+type piece struct {
+	bh   *hypergraph.Hypergraph
+	vmap []int
+	emap []int
+	out  blockResult
+}
+
+// mergeBlocks folds the per-block outcomes into res: the width of the
+// whole is the maximum over blocks, so the max of the lower bounds is a
+// lower bound and the max of the upper bounds is attained by the
+// stitched decomposition. A block whose budget expired before any
+// strategy produced a witness does not void the interval anymore: the
+// block's single-bag trivial witness (always constructible — solveBlock
+// offers it uncancellably, so this fallback is defense in depth)
+// completes the stitch, the surviving per-block lower bounds and
+// partial witnesses are preserved, and only Exact/Provenance degrade.
+func mergeBlocks(res *Result, h *hypergraph.Hypergraph, pieces []piece, opt Options) error {
 	res.Lower = new(big.Rat)
 	res.Exact = true
+	res.Provenance = ProvExact
 	haveAll := true
 	var parts []decomp.Part
 	for i := range pieces {
@@ -447,38 +509,48 @@ func (s *Solver) solve(ctx context.Context, h *hypergraph.Hypergraph, opt Option
 		res.Exact = res.Exact && b.exact
 		res.Partial = res.Partial || b.partial
 		if b.witness == nil {
-			haveAll = false
-			continue
+			if d := trivialDecomp(pieces[i].bh, opt.Measure); d != nil {
+				b.witness, b.upper = d, d.Width()
+				b.strategy, b.prov = "trivial-ub", ProvHeuristic
+				b.exact, b.partial = false, true
+				res.Exact, res.Partial = false, true
+			} else {
+				// Unreachable for non-empty blocks; keep the proven
+				// lower bound and the partial flag.
+				haveAll = false
+				res.Exact = false
+				continue
+			}
 		}
 		if res.Upper == nil || b.upper.Cmp(res.Upper) > 0 {
 			res.Upper = b.upper
 			res.Strategy = b.strategy
 		}
+		res.Provenance = weakerProv(res.Provenance, b.prov)
 		parts = append(parts, decomp.Part{D: b.witness, VertexMap: pieces[i].vmap, EdgeMap: pieces[i].emap})
 	}
 	if !haveAll {
-		res.Upper = nil
-		res.Exact = false
-		return res, nil
+		res.Upper, res.Witness, res.Provenance = nil, nil, ""
+		return nil
 	}
 	w, err := decomp.Combine(h, parts)
 	if err != nil {
-		return nil, fmt.Errorf("solve: stitching witness: %w", err)
+		return fmt.Errorf("solve: stitching witness: %w", err)
 	}
 	res.Witness = w
 	if got := w.Width(); got.Cmp(res.Upper) != 0 {
-		return nil, fmt.Errorf("solve: stitched width %s != max block width %s",
+		return fmt.Errorf("solve: stitched width %s != max block width %s",
 			got.RatString(), res.Upper.RatString())
 	}
 	if opt.Validate {
 		if err := w.Validate(opt.Measure.Kind()); err != nil {
-			return nil, fmt.Errorf("solve: stitched witness invalid: %w", err)
+			return fmt.Errorf("solve: stitched witness invalid: %w", err)
 		}
 	}
 	if res.Exact && res.Lower.Cmp(res.Upper) != 0 {
 		// All blocks exact but bounds disagree can only mean a bug.
-		return nil, fmt.Errorf("solve: exact result with bounds [%s, %s]",
+		return fmt.Errorf("solve: exact result with bounds [%s, %s]",
 			res.Lower.RatString(), res.Upper.RatString())
 	}
-	return res, nil
+	return nil
 }

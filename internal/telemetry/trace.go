@@ -95,6 +95,11 @@ type Counters struct {
 	SATBlocked      int64 `json:"sat_blocked,omitempty"`
 	SATPricedBags   int64 `json:"sat_priced_bags,omitempty"`
 	SATRebuilds     int64 `json:"sat_rebuilds,omitempty"`
+
+	ApproxRuns          int64 `json:"approx_runs,omitempty"`
+	ApproxSepRetries    int64 `json:"approx_sep_retries,omitempty"`
+	ApproxImprovePasses int64 `json:"approx_improve_passes,omitempty"`
+	ApproxImproved      int64 `json:"approx_improved,omitempty"`
 }
 
 // add accumulates o into c.
@@ -125,6 +130,10 @@ func (c *Counters) add(o Counters) {
 	c.SATBlocked += o.SATBlocked
 	c.SATPricedBags += o.SATPricedBags
 	c.SATRebuilds += o.SATRebuilds
+	c.ApproxRuns += o.ApproxRuns
+	c.ApproxSepRetries += o.ApproxSepRetries
+	c.ApproxImprovePasses += o.ApproxImprovePasses
+	c.ApproxImproved += o.ApproxImproved
 }
 
 // Trace is one request's event log. Construct with NewTrace (or
@@ -272,4 +281,8 @@ func (s *Summary) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "  caches: basis=%d/%d (evict %d) result=%d/%d\n",
 		c.BasisHits, c.BasisHits+c.BasisMisses, c.BasisEvictions,
 		c.ResultCacheHits, c.ResultCacheHits+c.ResultCacheMisses)
+	if c.ApproxRuns > 0 || c.ApproxImprovePasses > 0 {
+		fmt.Fprintf(w, "  approx: runs=%d sep_retries=%d improve_passes=%d improved=%d\n",
+			c.ApproxRuns, c.ApproxSepRetries, c.ApproxImprovePasses, c.ApproxImproved)
+	}
 }
